@@ -1,0 +1,169 @@
+// End-to-end tests of the command-line tools: each binary is compiled
+// once into a temp dir and driven through its primary flows.
+package afp_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "afp-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"floorplan", "experiments", "mipsolve"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				println(string(out))
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLIs: %v", buildErr)
+	}
+	return binDir
+}
+
+func runCLI(t *testing.T, name string, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCLIs(t), name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIFloorplanRandomDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "out.svg")
+	out := runCLI(t, "floorplan", "",
+		"-design", "rand8", "-group", "3", "-nodes", "500",
+		"-ascii", "-trace", "-route", "-svg", svg)
+	for _, want := range []string{"utilization", "step 0", "routed:", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil || !strings.HasPrefix(string(data), "<svg") {
+		t.Fatalf("SVG not written: %v", err)
+	}
+}
+
+func TestCLIFloorplanSAMethod(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	out := runCLI(t, "floorplan", "", "-design", "rand10", "-method", "sa")
+	if !strings.Contains(out, "SA slicing") {
+		t.Fatalf("SA output missing:\n%s", out)
+	}
+}
+
+func TestCLIFloorplanNetlistFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	dir := t.TempDir()
+	nl := filepath.Join(dir, "d.netlist")
+	src := `design clitest
+module a rigid 4 3 rot
+module b flexible 12 0.5 2
+module c rigid 2 5
+net n1 a b
+net n2 b c
+`
+	if err := os.WriteFile(nl, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "floorplan", "", "-input", nl, "-nodes", "500")
+	if !strings.Contains(out, "design clitest: 3 modules") {
+		t.Fatalf("netlist input not honored:\n%s", out)
+	}
+}
+
+func TestCLIFloorplanBookshelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	dir := t.TempDir()
+	blocks := filepath.Join(dir, "d.blocks")
+	nets := filepath.Join(dir, "d.nets")
+	if err := os.WriteFile(blocks, []byte(`UCSC blocks 1.0
+NumSoftRectangularBlocks : 1
+NumHardRectilinearBlocks : 2
+NumTerminals : 0
+sb0 softrectangular 12 0.5 2.0
+bk1 hardrectilinear 4 (0, 0) (0, 3) (4, 3) (4, 0)
+bk2 hardrectilinear 4 (0, 0) (0, 5) (2, 5) (2, 0)
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(nets, []byte(`UCLA nets 1.0
+NumNets : 1
+NumPins : 2
+NetDegree : 2
+sb0 B
+bk1 B
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "floorplan", "", "-blocks", blocks, "-nets", nets, "-nodes", "500")
+	if !strings.Contains(out, "3 modules") {
+		t.Fatalf("bookshelf input not honored:\n%s", out)
+	}
+}
+
+func TestCLIMipsolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	model := `maximize
+bin a 10
+bin b 13
+bin c 7
+bin d 5
+con cap <= 6 3 a 4 b 2 c 1 d
+`
+	out := runCLI(t, "mipsolve", model)
+	if !strings.Contains(out, "status: optimal") || !strings.Contains(out, "objective: 22") {
+		t.Fatalf("mipsolve output wrong:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	out := runCLI(t, "experiments", "", "-figure", "1")
+	if !strings.Contains(out, "h tangent") {
+		t.Fatalf("figure 1 output wrong:\n%s", out)
+	}
+	out = runCLI(t, "experiments", "", "-figure", "4")
+	if !strings.Contains(out, "covering rectangles") {
+		t.Fatalf("figure 4 output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,141 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 4). See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	experiments -table all            # Tables 1-3 plus the baseline
+//	experiments -table 2 -mode quick
+//	experiments -figure 5 -out ./figs # writes figs/figure5.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"afp/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table  = flag.String("table", "", "table to regenerate: 1, 2, 3, baseline or all")
+		figure = flag.String("figure", "", "figure to regenerate: 1, 2, 4, 5, 6 or all")
+		mode   = flag.String("mode", "full", "effort: full or quick")
+		outDir = flag.String("out", ".", "directory for SVG figure output")
+	)
+	flag.Parse()
+	if *table == "" && *figure == "" {
+		*table = "all"
+		*figure = "all"
+	}
+
+	m := bench.Full
+	if *mode == "quick" {
+		m = bench.Quick
+	}
+
+	w := os.Stdout
+	runTable := func(which string) error {
+		switch which {
+		case "1":
+			rows, err := bench.Table1(m)
+			if err != nil {
+				return err
+			}
+			bench.WriteTable1(w, rows)
+		case "2":
+			rows, err := bench.Table2(m)
+			if err != nil {
+				return err
+			}
+			bench.WriteTable2(w, rows)
+		case "3":
+			rows, err := bench.Table3(m)
+			if err != nil {
+				return err
+			}
+			bench.WriteTable3(w, rows)
+		case "baseline":
+			rows, err := bench.Baseline(m)
+			if err != nil {
+				return err
+			}
+			bench.WriteBaseline(w, rows)
+		default:
+			return fmt.Errorf("unknown table %q", which)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	runFigure := func(which string) error {
+		switch which {
+		case "1":
+			bench.WriteFigure1(w, bench.Figure1(100, 0.25, 4, 13))
+		case "2":
+			r, err := bench.Figure2(m)
+			if err != nil {
+				return err
+			}
+			bench.WriteFigure2(w, r)
+		case "4":
+			bench.WriteFigure4(w, bench.Figure4())
+		case "5":
+			f, err := os.Create(filepath.Join(*outDir, "figure5.svg"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.Figure5(w, m, f); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", f.Name())
+		case "6":
+			f, err := os.Create(filepath.Join(*outDir, "figure6.svg"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.Figure6(w, m, f); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", f.Name())
+		default:
+			return fmt.Errorf("unknown figure %q", which)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+
+	tables := []string{*table}
+	if *table == "all" {
+		tables = []string{"1", "2", "3", "baseline"}
+	} else if *table == "" {
+		tables = nil
+	}
+	for _, t := range tables {
+		if err := runTable(t); err != nil {
+			return err
+		}
+	}
+	figures := []string{*figure}
+	if *figure == "all" {
+		figures = []string{"1", "2", "4", "5", "6"}
+	} else if *figure == "" {
+		figures = nil
+	}
+	for _, f := range figures {
+		if err := runFigure(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

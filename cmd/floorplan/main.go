@@ -1,0 +1,239 @@
+// Command floorplan runs the analytical floorplanner on a design and
+// reports the resulting chip, optionally routing it and rendering SVG or
+// ASCII output.
+//
+// Usage:
+//
+//	floorplan [flags]
+//
+// The design comes from -input (netlist text format, see
+// internal/netlist), or from the built-in generators via -design ami33 or
+// -design randN (e.g. rand20).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"afp/internal/anneal"
+	"afp/internal/core"
+	"afp/internal/milp"
+	"afp/internal/mipmodel"
+	"afp/internal/netlist"
+	"afp/internal/order"
+	"afp/internal/render"
+	"afp/internal/route"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "floorplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input     = flag.String("input", "", "netlist file (see internal/netlist format); empty uses -design")
+		blocks    = flag.String("blocks", "", "bookshelf .blocks file (use with -nets)")
+		netsFile  = flag.String("nets", "", "bookshelf .nets file (use with -blocks)")
+		method    = flag.String("method", "milp", "floorplanner: milp (the paper) or sa (Wong-Liu slicing baseline)")
+		design    = flag.String("design", "ami33", "built-in design: ami33 or rand<N> (e.g. rand20)")
+		seed      = flag.Int64("seed", 1, "seed for rand<N> designs and random ordering")
+		width     = flag.Float64("width", 0, "chip width W (0 = automatic)")
+		group     = flag.Int("group", 3, "successive-augmentation group size")
+		objective = flag.String("objective", "area", "objective: area or area+wire")
+		ordering  = flag.String("order", "linear", "module selection order: linear or random")
+		envelopes = flag.Bool("envelopes", false, "reserve routing envelopes around modules")
+		post      = flag.Bool("post", true, "run the fixed-topology LP adjustment after placement")
+		doRoute   = flag.Bool("route", false, "globally route the result")
+		weighted  = flag.Bool("weighted", true, "use weighted shortest path when routing")
+		nodes     = flag.Int("nodes", 8000, "branch-and-bound node limit per step")
+		stepTime  = flag.Duration("steptime", 10*time.Second, "time limit per augmentation step")
+		svgOut    = flag.String("svg", "", "write the floorplan as SVG to this file")
+		placeOut  = flag.String("placement", "", "write the floorplan as JSON to this file")
+		ascii     = flag.Bool("ascii", false, "print an ASCII rendering")
+		trace     = flag.Bool("trace", false, "print per-step traces")
+		sweep     = flag.Bool("sweep", false, "try several chip widths and keep the best floorplan")
+	)
+	flag.Parse()
+
+	d, err := loadDesign(*input, *blocks, *netsFile, *design, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *method == "sa" {
+		start := time.Now()
+		r, err := anneal.Floorplan(d, anneal.Config{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("design %s: %d modules, total area %.0f\n", d.Name, len(d.Modules), d.TotalArea())
+		fmt.Printf("SA slicing: chip %.1f x %.1f, area %.0f, utilization %.1f%%, HPWL %.0f, %v\n",
+			r.ChipWidth, r.Height, r.ChipArea(), 100*d.TotalArea()/r.ChipArea(), r.HPWL(),
+			time.Since(start).Round(time.Millisecond))
+		if *ascii {
+			fmt.Print(render.ASCII(r, 78))
+		}
+		if *svgOut != "" {
+			return writeSVG(*svgOut, r, nil)
+		}
+		return nil
+	}
+	if *method != "milp" {
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	cfg := core.Config{
+		ChipWidth:    *width,
+		GroupSize:    *group,
+		Envelopes:    *envelopes,
+		PostOptimize: *post,
+		MILP:         milp.Options{MaxNodes: *nodes, TimeLimit: *stepTime},
+	}
+	switch *objective {
+	case "area":
+		cfg.Objective = mipmodel.AreaOnly
+	case "area+wire", "wire":
+		cfg.Objective = mipmodel.AreaWire
+		cfg.WireWeight = 0.02
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+	switch *ordering {
+	case "linear":
+		cfg.Ordering = order.Linear(d)
+	case "random":
+		cfg.Ordering = order.Random(d, *seed)
+	default:
+		return fmt.Errorf("unknown ordering %q", *ordering)
+	}
+
+	start := time.Now()
+	var r *core.Result
+	if *sweep {
+		var trials []core.SweepResult
+		r, trials, err = core.FloorplanBestWidth(d, cfg, []float64{0.85, 0.95, 1.05, 1.15})
+		if err != nil {
+			return err
+		}
+		for _, tr := range trials {
+			if tr.Err != nil {
+				fmt.Printf("  width %.1f: %v\n", tr.Width, tr.Err)
+				continue
+			}
+			fmt.Printf("  width %.1f: area %.0f (util %.1f%%)\n",
+				tr.Width, tr.Result.ChipArea(), 100*tr.Result.Utilization())
+		}
+	} else {
+		r, err = core.Floorplan(d, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("design %s: %d modules, total area %.0f\n", d.Name, len(d.Modules), d.TotalArea())
+	fmt.Printf("chip %.1f x %.1f, area %.0f, utilization %.1f%%, HPWL %.0f, %v\n",
+		r.ChipWidth, r.Height, r.ChipArea(), 100*r.Utilization(), r.HPWL(),
+		time.Since(start).Round(time.Millisecond))
+
+	if *trace {
+		for _, s := range r.Steps {
+			fmt.Printf("  step %d: +%d modules, %d obstacles, %d binaries, %d nodes, %v, height %.1f (%v)\n",
+				s.Step, len(s.Added), s.Obstacles, s.Binaries, s.Nodes, s.Status, s.Height, s.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	var rt *route.Result
+	if *doRoute {
+		alg := route.ShortestPath
+		if *weighted {
+			alg = route.WeightedShortestPath
+		}
+		rt, err = route.Route(r, route.Config{Algorithm: alg})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("routed: wirelength %.0f, overflow %d, final chip %.1f x %.1f (area %.0f)\n",
+			rt.Wirelength, rt.Overflow, rt.FinalW, rt.FinalH, rt.FinalArea())
+	}
+
+	if *ascii {
+		fmt.Print(render.ASCII(r, 78))
+	}
+	if *placeOut != "" {
+		f, err := os.Create(*placeOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.SaveJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *placeOut)
+	}
+	if *svgOut != "" {
+		return writeSVG(*svgOut, r, rt)
+	}
+	return nil
+}
+
+func writeSVG(path string, r *core.Result, rt *route.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := render.SVGWithRoutes(f, r, rt); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func loadDesign(input, blocks, nets, name string, seed int64) (*netlist.Design, error) {
+	if blocks != "" {
+		bf, err := os.Open(blocks)
+		if err != nil {
+			return nil, err
+		}
+		defer bf.Close()
+		var nr *os.File
+		if nets != "" {
+			nr, err = os.Open(nets)
+			if err != nil {
+				return nil, err
+			}
+			defer nr.Close()
+		}
+		base := strings.TrimSuffix(filepath.Base(blocks), filepath.Ext(blocks))
+		if nr != nil {
+			return netlist.ParseBookshelf(base, bf, nr)
+		}
+		return netlist.ParseBookshelf(base, bf, nil)
+	}
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.Parse(f)
+	}
+	if name == "ami33" {
+		return netlist.AMI33(), nil
+	}
+	if strings.HasPrefix(name, "rand") {
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "rand"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad design name %q", name)
+		}
+		return netlist.Random(n, seed), nil
+	}
+	return nil, fmt.Errorf("unknown design %q", name)
+}

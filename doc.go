@@ -1,0 +1,15 @@
+// Package afp is an open-source reproduction of "An Analytical Approach
+// to Floorplan Design and Optimization" (Sutanthavibul, Shragowitz,
+// Rosen; DAC 1990): mixed-integer-programming floorplanning by
+// successive augmentation, with a pure-Go simplex/branch-and-bound
+// solver, covering-rectangle reformulation, flexible-module
+// linearization, fixed-topology LP optimization, a graph-based global
+// router, and a Wong-Liu slicing simulated-annealing baseline.
+//
+// The root package carries only documentation; see the packages under
+// internal/ (core, mipmodel, milp, lp, geom, netlist, order, route,
+// anneal, render, bench), the executables under cmd/, and the runnable
+// examples under examples/. DESIGN.md maps every subsystem and every
+// table and figure of the paper to the code that reproduces it;
+// EXPERIMENTS.md records paper-versus-measured results.
+package afp

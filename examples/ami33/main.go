@@ -1,0 +1,61 @@
+// The paper's flagship experiment: floorplan the ami33-style benchmark
+// (33 modules, total area 11520) with the chip-area objective and
+// connectivity-based linear ordering, then globally route it and report
+// the final chip — the flow behind Tables 2 and 3 and Figures 5-6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"afp/internal/core"
+	"afp/internal/milp"
+	"afp/internal/netlist"
+	"afp/internal/render"
+	"afp/internal/route"
+)
+
+func main() {
+	d := netlist.AMI33()
+	fmt.Printf("design %s: %d modules, %d nets, total module area %.0f\n",
+		d.Name, len(d.Modules), len(d.Nets), d.TotalArea())
+
+	cfg := core.Config{
+		GroupSize:    3,
+		Envelopes:    true, // reserve routing space (Section 3.2 envelopes)
+		PostOptimize: true,
+		MILP:         milp.Options{MaxNodes: 8000, TimeLimit: 10 * time.Second},
+	}
+	start := time.Now()
+	fp, err := core.Floorplan(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed: chip %.1f x %.1f, area %.0f, utilization %.1f%% in %v\n",
+		fp.ChipWidth, fp.Height, fp.ChipArea(), 100*fp.Utilization(),
+		time.Since(start).Round(time.Millisecond))
+	for _, s := range fp.Steps {
+		fmt.Printf("  step %2d: +%d modules, %2d covering rects, %3d binaries, %5d nodes, %v\n",
+			s.Step, len(s.Added), s.Obstacles, s.Binaries, s.Nodes, s.Status)
+	}
+
+	rt, err := route.Route(fp, route.Config{Algorithm: route.WeightedShortestPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routed: wirelength %.0f, overflow %d\n", rt.Wirelength, rt.Overflow)
+	fmt.Printf("final chip after channel adjustment: %.1f x %.1f (area %.0f)\n",
+		rt.FinalW, rt.FinalH, rt.FinalArea())
+
+	f, err := os.Create("ami33.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := render.SVGWithRoutes(f, fp, rt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote ami33.svg")
+}

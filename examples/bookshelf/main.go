@@ -1,0 +1,68 @@
+// Bookshelf interop: export the ami33-style benchmark as a GSRC/UCLA
+// bookshelf .blocks/.nets pair, read it back, and floorplan the imported
+// design — the round trip a downstream user needs to bring their own MCNC
+// or GSRC benchmarks into the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"afp/internal/core"
+	"afp/internal/milp"
+	"afp/internal/netlist"
+)
+
+func main() {
+	d := netlist.AMI33()
+
+	bf, err := os.Create("ami33.blocks")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nf, err := os.Create("ami33.nets")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.WriteBookshelf(bf, nf); err != nil {
+		log.Fatal(err)
+	}
+	bf.Close()
+	nf.Close()
+	fmt.Println("wrote ami33.blocks and ami33.nets")
+
+	// Read them back the way an external benchmark would arrive.
+	br, err := os.Open("ami33.blocks")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer br.Close()
+	nr, err := os.Open("ami33.nets")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nr.Close()
+	imported, err := netlist.ParseBookshelf("ami33", br, nr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported %d modules, %d nets, total area %.0f\n",
+		len(imported.Modules), len(imported.Nets), imported.TotalArea())
+
+	r, err := core.Floorplan(imported, core.Config{
+		GroupSize:    3,
+		PostOptimize: true,
+		MILP:         milp.Options{MaxNodes: 2000, TimeLimit: 4 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("floorplanned: chip %.1f x %.1f, utilization %.1f%%\n",
+		r.ChipWidth, r.Height, 100*r.Utilization())
+	if v := r.Verify(); len(v) != 0 {
+		log.Fatalf("illegal floorplan: %v", v)
+	}
+	fmt.Println("floorplan verified legal")
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a small design in code, floorplan it, and print the
+// result. This is the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"afp/internal/core"
+	"afp/internal/netlist"
+	"afp/internal/render"
+)
+
+func main() {
+	// A design mixes rigid modules (fixed dimensions, optionally
+	// rotatable) and flexible modules (fixed area, bounded aspect ratio).
+	d := &netlist.Design{
+		Name: "quickstart",
+		Modules: []netlist.Module{
+			{Name: "cpu", Kind: netlist.Rigid, W: 8, H: 6, Rotatable: true},
+			{Name: "ram", Kind: netlist.Rigid, W: 6, H: 6},
+			{Name: "dma", Kind: netlist.Rigid, W: 4, H: 3, Rotatable: true},
+			{Name: "rom", Kind: netlist.Flexible, Area: 24, MinAspect: 0.5, MaxAspect: 2},
+			{Name: "io", Kind: netlist.Flexible, Area: 18, MinAspect: 0.4, MaxAspect: 2.5},
+		},
+		Nets: []netlist.Net{
+			{Name: "bus", Modules: []int{0, 1, 2}, Weight: 2},
+			{Name: "boot", Modules: []int{0, 3}},
+			{Name: "pins", Modules: []int{2, 4}, Critical: true},
+		},
+	}
+
+	// Floorplan with default settings: automatic chip width,
+	// connectivity-driven module order, group size 4, and the
+	// fixed-topology LP adjustment at the end.
+	r, err := core.Floorplan(d, core.Config{PostOptimize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("chip %.1f x %.1f — area %.0f, utilization %.1f%%\n",
+		r.ChipWidth, r.Height, r.ChipArea(), 100*r.Utilization())
+	for _, p := range r.Placements {
+		rot := ""
+		if p.Rotated {
+			rot = " (rotated)"
+		}
+		fmt.Printf("  %-4s at (%.1f, %.1f) size %.1f x %.1f%s\n",
+			d.Modules[p.Index].Name, p.Mod.X, p.Mod.Y, p.Mod.W, p.Mod.H, rot)
+	}
+	fmt.Println()
+	fmt.Print(render.ASCII(r, 60))
+
+	// Optionally persist the design in the text format for the CLI tools.
+	f, err := os.Create("quickstart.netlist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart.netlist (try: go run ./cmd/floorplan -input quickstart.netlist -ascii)")
+}

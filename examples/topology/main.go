@@ -1,0 +1,62 @@
+// Fixed-topology optimization (Section 2.5): when the relative positions
+// of all modules are already decided, every 0-1 variable disappears and
+// floorplan area optimization is a pure linear program. This example
+// builds a deliberately loose floorplan by hand and lets the LP compact
+// it and reshape the flexible modules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"afp/internal/core"
+	"afp/internal/geom"
+	"afp/internal/netlist"
+	"afp/internal/render"
+)
+
+func main() {
+	d := &netlist.Design{
+		Name: "topology",
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 6, H: 4},
+			{Name: "b", Kind: netlist.Flexible, Area: 24, MinAspect: 0.5, MaxAspect: 2},
+			{Name: "c", Kind: netlist.Rigid, W: 4, H: 4},
+			{Name: "d", Kind: netlist.Flexible, Area: 16, MinAspect: 0.5, MaxAspect: 2},
+		},
+	}
+
+	// A hand-made topology with plenty of slack: a | b on the bottom row,
+	// c | d above, everything spread out. Only the relative positions
+	// (left-of / below) matter to the LP.
+	loose := &core.Result{
+		Design:    d,
+		ChipWidth: 14,
+		Height:    14,
+		Placements: []core.Placement{
+			{Index: 0, Env: geom.NewRect(0, 0, 6, 4), Mod: geom.NewRect(0, 0, 6, 4)},
+			{Index: 1, Env: geom.NewRect(7, 1, 6, 4), Mod: geom.NewRect(7, 1, 6, 4)},
+			{Index: 2, Env: geom.NewRect(1, 6, 4, 4), Mod: geom.NewRect(1, 6, 4, 4)},
+			{Index: 3, Env: geom.NewRect(7, 7, 4, 4), Mod: geom.NewRect(7, 7, 4, 4)},
+		},
+	}
+	fmt.Printf("loose floorplan: %.1f x %.1f (area %.0f, util %.1f%%)\n",
+		loose.ChipWidth, loose.Height, loose.ChipArea(), 100*loose.Utilization())
+	fmt.Print(render.ASCII(loose, 56))
+
+	opt, err := core.OptimizeTopology(d, loose, core.Config{ChipWidth: 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimized (same topology): %.1f x %.1f (area %.0f, util %.1f%%)\n",
+		opt.ChipWidth, opt.Height, opt.ChipArea(), 100*opt.Utilization())
+	fmt.Print(render.ASCII(opt, 56))
+
+	for _, p := range opt.Placements {
+		m := &d.Modules[p.Index]
+		if m.Kind == netlist.Flexible {
+			fmt.Printf("flexible %s reshaped to %.2f x %.2f (aspect %.2f)\n",
+				m.Name, p.Mod.W, p.Mod.H, p.Mod.W/p.Mod.H)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module afp
+
+go 1.22

@@ -1,0 +1,324 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"afp/internal/core"
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+// Config tunes the annealer.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal results.
+	Seed int64
+	// Lambda weighs wirelength against area in the cost (cost = area +
+	// Lambda * HPWL). Zero routes on area alone.
+	Lambda float64
+	// FlexSamples is the number of width samples per flexible module.
+	// Zero defaults to 6.
+	FlexSamples int
+	// MovesPerTemp is the number of attempted moves at each temperature.
+	// Zero defaults to 30 * n.
+	MovesPerTemp int
+	// Alpha is the geometric cooling rate. Zero defaults to 0.85.
+	Alpha float64
+	// MinTemp stops the schedule. Zero defaults to 1e-4 of the initial
+	// temperature.
+	MinTemp float64
+}
+
+// Floorplan runs simulated annealing over normalized Polish expressions
+// and returns the best floorplan found as a core.Result (ChipWidth is the
+// bounding width of the slicing floorplan).
+func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Modules)
+	if n == 0 {
+		return &core.Result{Design: d}, nil
+	}
+	if cfg.FlexSamples <= 0 {
+		cfg.FlexSamples = 6
+	}
+	if cfg.MovesPerTemp <= 0 {
+		cfg.MovesPerTemp = 30 * n
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 0.85
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 12345))
+
+	a := &annealer{d: d, cfg: cfg, rng: rng, leaves: leafCurves(d, cfg.FlexSamples)}
+	if n == 1 {
+		expr := []int{0}
+		return a.decode(expr), nil
+	}
+
+	cur := initialExpr(n)
+	curCost := a.cost(cur)
+	best := append([]int(nil), cur...)
+	bestCost := curCost
+
+	// Calibrate T0 from the average uphill move.
+	t0 := a.calibrate(cur, curCost)
+	minT := cfg.MinTemp
+	if minT <= 0 {
+		minT = t0 * 1e-4
+	}
+
+	for T := t0; T > minT; T *= cfg.Alpha {
+		accepted := 0
+		for mv := 0; mv < cfg.MovesPerTemp; mv++ {
+			next, ok := a.perturb(cur)
+			if !ok {
+				continue
+			}
+			c := a.cost(next)
+			delta := c - curCost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/T) {
+				cur, curCost = next, c
+				accepted++
+				if c < bestCost {
+					bestCost = c
+					best = append(best[:0], cur...)
+				}
+			}
+		}
+		if accepted == 0 {
+			break
+		}
+	}
+	return a.decode(best), nil
+}
+
+type annealer struct {
+	d      *netlist.Design
+	cfg    Config
+	rng    *rand.Rand
+	leaves [][]shapePoint
+}
+
+// leafCurves builds the shape options of each module: both orientations
+// for rotatable rigid modules, sampled widths for flexible modules.
+func leafCurves(d *netlist.Design, samples int) [][]shapePoint {
+	out := make([][]shapePoint, len(d.Modules))
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		var pts []shapePoint
+		switch m.Kind {
+		case netlist.Flexible:
+			wmin, wmax := m.WidthRange()
+			for k := 0; k < samples; k++ {
+				f := float64(k) / float64(samples-1)
+				w := wmin + f*(wmax-wmin)
+				pts = append(pts, shapePoint{w: w, h: m.Area / w, li: -1, ri: -1, leafK: k})
+			}
+		default:
+			pts = append(pts, shapePoint{w: m.W, h: m.H, li: -1, ri: -1, leafK: 0})
+			if m.Rotatable && m.W != m.H {
+				pts = append(pts, shapePoint{w: m.H, h: m.W, li: -1, ri: -1, leafK: 1})
+			}
+		}
+		out[i] = pareto(pts)
+	}
+	return out
+}
+
+// calibrate estimates an initial temperature from the mean uphill delta
+// over a sample of random moves (the standard Wong-Liu recipe).
+func (a *annealer) calibrate(expr []int, base float64) float64 {
+	var up, cnt float64
+	cur := append([]int(nil), expr...)
+	curCost := base
+	for i := 0; i < 50; i++ {
+		next, ok := a.perturb(cur)
+		if !ok {
+			continue
+		}
+		c := a.cost(next)
+		if dd := c - curCost; dd > 0 {
+			up += dd
+			cnt++
+		}
+		cur, curCost = next, c
+	}
+	if cnt == 0 {
+		return 1
+	}
+	avg := up / cnt
+	return -avg / math.Log(0.85) // initial acceptance ratio ~0.85
+}
+
+// perturb applies one of the Wong-Liu moves M1 (swap adjacent operands),
+// M2 (complement an operator chain) or M3 (swap an operand with an
+// adjacent operator), returning a fresh expression.
+func (a *annealer) perturb(expr []int) ([]int, bool) {
+	next := append([]int(nil), expr...)
+	switch a.rng.Intn(3) {
+	case 0:
+		return next, a.moveM1(next)
+	case 1:
+		return next, a.moveM2(next)
+	default:
+		return next, a.moveM3(next)
+	}
+}
+
+// moveM1 swaps two operands adjacent in the operand subsequence.
+func (a *annealer) moveM1(expr []int) bool {
+	var opIdx []int
+	for i, t := range expr {
+		if !isOperator(t) {
+			opIdx = append(opIdx, i)
+		}
+	}
+	if len(opIdx) < 2 {
+		return false
+	}
+	k := a.rng.Intn(len(opIdx) - 1)
+	i, j := opIdx[k], opIdx[k+1]
+	expr[i], expr[j] = expr[j], expr[i]
+	return true
+}
+
+// moveM2 complements one maximal chain of operators.
+func (a *annealer) moveM2(expr []int) bool {
+	type chain struct{ s, e int }
+	var chains []chain
+	for i := 0; i < len(expr); {
+		if isOperator(expr[i]) {
+			s := i
+			for i < len(expr) && isOperator(expr[i]) {
+				i++
+			}
+			chains = append(chains, chain{s, i})
+		} else {
+			i++
+		}
+	}
+	if len(chains) == 0 {
+		return false
+	}
+	c := chains[a.rng.Intn(len(chains))]
+	for i := c.s; i < c.e; i++ {
+		if expr[i] == opH {
+			expr[i] = opV
+		} else {
+			expr[i] = opH
+		}
+	}
+	return true
+}
+
+// moveM3 swaps one adjacent operand-operator pair, keeping the expression
+// a normalized Polish expression.
+func (a *annealer) moveM3(expr []int) bool {
+	n := (len(expr) + 1) / 2
+	// Collect candidate positions and try them in random order.
+	perm := a.rng.Perm(len(expr) - 1)
+	for _, i := range perm {
+		if isOperator(expr[i]) == isOperator(expr[i+1]) {
+			continue
+		}
+		expr[i], expr[i+1] = expr[i+1], expr[i]
+		if validExpr(expr, n) == nil {
+			return true
+		}
+		expr[i], expr[i+1] = expr[i+1], expr[i] // undo
+	}
+	return false
+}
+
+// cost evaluates the best (area + lambda*HPWL) over the shape curve of
+// the expression.
+func (a *annealer) cost(expr []int) float64 {
+	res := a.decode(expr)
+	c := res.ChipArea()
+	if a.cfg.Lambda > 0 {
+		c += a.cfg.Lambda * res.HPWL()
+	}
+	return c
+}
+
+// decode evaluates the expression's shape curve, picks the best final
+// shape and extracts module rectangles.
+func (a *annealer) decode(expr []int) *core.Result {
+	type nodeCurve struct {
+		curve []shapePoint
+		op    int
+		l, r  int // node indices in the eval forest (-1 leaf)
+		leaf  int // module index for leaves
+	}
+	var nodes []nodeCurve
+	var stack []int
+	for _, t := range expr {
+		if !isOperator(t) {
+			nodes = append(nodes, nodeCurve{curve: a.leaves[t], l: -1, r: -1, leaf: t})
+			stack = append(stack, len(nodes)-1)
+			continue
+		}
+		rIdx := stack[len(stack)-1]
+		lIdx := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		nodes = append(nodes, nodeCurve{
+			curve: combine(t, nodes[lIdx].curve, nodes[rIdx].curve),
+			op:    t, l: lIdx, r: rIdx,
+		})
+		stack = append(stack, len(nodes)-1)
+	}
+	root := stack[0]
+
+	// Choose the best point of the root curve.
+	bestK, bestC := 0, math.Inf(1)
+	for k, p := range nodes[root].curve {
+		c := p.w * p.h
+		if c < bestC {
+			bestK, bestC = k, c
+		}
+	}
+
+	res := &core.Result{Design: a.d}
+	// Recursive extraction of rectangles.
+	var place func(ni, k int, x, y float64)
+	place = func(ni, k int, x, y float64) {
+		nd := &nodes[ni]
+		p := nd.curve[k]
+		if nd.l < 0 {
+			r := geom.NewRect(x, y, p.w, p.h)
+			m := &a.d.Modules[nd.leaf]
+			rot := m.Kind == netlist.Rigid && p.leafK == 1
+			res.Placements = append(res.Placements, core.Placement{
+				Index: nd.leaf, Env: r, Mod: r, Rotated: rot,
+			})
+			return
+		}
+		lp := nodes[nd.l].curve[p.li]
+		if nd.op == opV {
+			place(nd.l, p.li, x, y)
+			place(nd.r, p.ri, x+lp.w, y)
+		} else {
+			place(nd.l, p.li, x, y)
+			place(nd.r, p.ri, x, y+lp.h)
+		}
+	}
+	rootPt := nodes[root].curve[bestK]
+	place(root, bestK, 0, 0)
+	res.ChipWidth = rootPt.w
+	res.Height = rootPt.h
+	return res
+}
+
+// Cost exposes the annealer's cost function for tests and benchmarks.
+func Cost(d *netlist.Design, expr []int, cfg Config) (float64, error) {
+	if err := validExpr(expr, len(d.Modules)); err != nil {
+		return 0, err
+	}
+	if cfg.FlexSamples <= 0 {
+		cfg.FlexSamples = 6
+	}
+	a := &annealer{d: d, cfg: cfg, leaves: leafCurves(d, cfg.FlexSamples)}
+	return a.cost(expr), nil
+}

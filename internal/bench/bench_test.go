@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table run in -short mode")
+	}
+	rows, err := Table1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sizes := []int{15, 20, 25, 33}
+	for i, r := range rows {
+		if r.Modules != sizes[i] {
+			t.Fatalf("row %d modules = %d, want %d", i, r.Modules, sizes[i])
+		}
+		if r.Util <= 0.4 || r.Util > 1 {
+			t.Fatalf("row %d utilization = %v", i, r.Util)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "ami33") {
+		t.Fatal("table output missing ami33")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table run in -short mode")
+	}
+	rows, err := Table2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows)
+	for _, want := range []string{"area+wire", "linear", "random"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table 2 output missing %q:\n%s", want, buf.String())
+		}
+	}
+	// Shape regression (soft, Quick mode is noisy): the connectivity-based
+	// linear ordering should not lose badly to random under the area
+	// objective — the paper's central Table 2 claim.
+	if rows[1].ChipArea > rows[0].ChipArea*1.15 {
+		t.Errorf("linear ordering area %v much worse than random %v",
+			rows[1].ChipArea, rows[0].ChipArea)
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table run in -short mode")
+	}
+	rows, err := Table3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FinalArea < r.PlacedArea-1e-6 {
+			t.Fatalf("final area %v below placed %v", r.FinalArea, r.PlacedArea)
+		}
+		if r.Wirelength <= 0 {
+			t.Fatalf("wirelength = %v", r.Wirelength)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "weighted-shortest-path") {
+		t.Fatal("table 3 output incomplete")
+	}
+	// Shape regressions: rows are [bare/sp, bare/wsp, env/sp, env/wsp].
+	// The weighted router must not increase overflow, and the envelope
+	// floorplan must not increase it either (the Table 3 mechanisms).
+	if rows[1].Overflow > rows[0].Overflow {
+		t.Errorf("weighted overflow %d > shortest %d", rows[1].Overflow, rows[0].Overflow)
+	}
+	if rows[3].Overflow > rows[1].Overflow {
+		t.Errorf("envelope overflow %d > bare %d", rows[3].Overflow, rows[1].Overflow)
+	}
+}
+
+func TestBaselineQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline run in -short mode")
+	}
+	rows, err := Baseline(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	WriteBaseline(&buf, rows)
+	for _, want := range []string{"wong-liu", "sequence-pair"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("baseline output missing %q", want)
+		}
+	}
+}
+
+func TestFitLinear(t *testing.T) {
+	rows := []Table1Row{
+		{Modules: 10, Time: 1 * time.Second},
+		{Modules: 20, Time: 2 * time.Second},
+		{Modules: 30, Time: 3 * time.Second},
+	}
+	a, b, r2 := FitLinear(rows)
+	if math.Abs(a) > 1e-9 || math.Abs(b-0.1) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("fit = (%v, %v, %v), want (0, 0.1, 1)", a, b, r2)
+	}
+	if _, _, r2 := FitLinear(rows[:1]); r2 != 0 {
+		t.Fatalf("degenerate fit r2 = %v", r2)
+	}
+	// Nonlinear data should score below a perfect fit.
+	rows[2].Time = 30 * time.Second
+	if _, _, r2 := FitLinear(rows); r2 >= 1 {
+		t.Fatalf("nonlinear data fit r2 = %v", r2)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	pts := Figure1(100, 0.25, 4, 11)
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// Tangent below the curve, secant above (both exact at w_max).
+		if p.HTangent > p.HTrue+1e-9 {
+			t.Fatalf("tangent above curve at w=%v", p.W)
+		}
+		if p.HSecant < p.HTrue-1e-9 {
+			t.Fatalf("secant below curve at w=%v", p.W)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.HTrue != last.HTangent || last.HTrue != last.HSecant {
+		t.Fatalf("not exact at w_max: %+v", last)
+	}
+	var buf bytes.Buffer
+	WriteFigure1(&buf, pts)
+	if !strings.Contains(buf.String(), "h tangent") {
+		t.Fatal("figure 1 output incomplete")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	d := Figure4()
+	if len(d.Covers) >= len(d.Modules) {
+		t.Fatalf("N* = %d not below N = %d", len(d.Covers), len(d.Modules))
+	}
+	var buf bytes.Buffer
+	WriteFigure4(&buf, d)
+	if !strings.Contains(buf.String(), "covering rectangles") {
+		t.Fatal("figure 4 output incomplete")
+	}
+}
+
+func TestFigures2And5And6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs in -short mode")
+	}
+	r, err := Figure2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteFigure2(&buf, r)
+	if !strings.Contains(buf.String(), "augmentation") {
+		t.Fatal("figure 2 output incomplete")
+	}
+
+	var svg5, txt5 bytes.Buffer
+	if err := Figure5(&txt5, Quick, &svg5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg5.String(), "<svg") {
+		t.Fatal("figure 5 SVG missing")
+	}
+
+	var svg6, txt6 bytes.Buffer
+	if err := Figure6(&txt6, Quick, &svg6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt6.String(), "routed wirelength") {
+		t.Fatal("figure 6 text incomplete")
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"afp/internal/core"
+	"afp/internal/geom"
+	"afp/internal/netlist"
+	"afp/internal/render"
+	"afp/internal/route"
+)
+
+// Figure1Point is one sample of the flexible-module linearization plot
+// (Figure 1: h = S/w, its tangent about w_max and the secant variant).
+type Figure1Point struct {
+	W, HTrue, HTangent, HSecant float64
+}
+
+// Figure1 samples the linearization of a flexible module with area S and
+// aspect bounds [minA, maxA].
+func Figure1(s, minA, maxA float64, samples int) []Figure1Point {
+	m := netlist.Module{Kind: netlist.Flexible, Area: s, MinAspect: minA, MaxAspect: maxA}
+	wmin, wmax := m.WidthRange()
+	hmax := s / wmax
+	tanSlope := s / (wmax * wmax)
+	secSlope := (s/wmin - hmax) / (wmax - wmin)
+	var pts []Figure1Point
+	for k := 0; k < samples; k++ {
+		w := wmin + (wmax-wmin)*float64(k)/float64(samples-1)
+		dw := wmax - w
+		pts = append(pts, Figure1Point{
+			W:        w,
+			HTrue:    s / w,
+			HTangent: hmax + tanSlope*dw,
+			HSecant:  hmax + secSlope*dw,
+		})
+	}
+	return pts
+}
+
+// WriteFigure1 prints the Figure 1 samples as a column table.
+func WriteFigure1(w io.Writer, pts []Figure1Point) {
+	fmt.Fprintf(w, "Figure 1 — linearization of h = S/w about w_max\n")
+	fmt.Fprintf(w, "%10s %10s %10s %10s\n", "w", "h true", "h tangent", "h secant")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%10.3f %10.3f %10.3f %10.3f\n", p.W, p.HTrue, p.HTangent, p.HSecant)
+	}
+}
+
+// Figure2 runs successive augmentation on ami33 and returns the step
+// traces (the process Figure 2/3 illustrates).
+func Figure2(mode Mode) (*core.Result, error) {
+	return core.Floorplan(netlist.AMI33(), mode.baseConfig())
+}
+
+// WriteFigure2 prints one line per augmentation step.
+func WriteFigure2(w io.Writer, r *core.Result) {
+	fmt.Fprintf(w, "Figure 2/3 — successive augmentation trace (%s)\n", r.Design.Name)
+	fmt.Fprintf(w, "%5s %7s %10s %9s %7s %10s %8s\n", "step", "added", "obstacles", "binaries", "nodes", "height", "status")
+	for _, s := range r.Steps {
+		fmt.Fprintf(w, "%5d %7d %10d %9d %7d %10.1f %8v\n",
+			s.Step, len(s.Added), s.Obstacles, s.Binaries, s.Nodes, s.Height, s.Status)
+	}
+}
+
+// Figure4Data is the covering-rectangle construction of Figure 4.
+type Figure4Data struct {
+	Modules []geom.Rect
+	Outline []geom.Point
+	Covers  []geom.Rect
+}
+
+// Figure4 builds the staircase partial floorplan of Figure 4(a) and its
+// horizontal edge-cut decomposition.
+func Figure4() Figure4Data {
+	mods := []geom.Rect{
+		geom.NewRect(0, 0, 4, 3),
+		geom.NewRect(4, 0, 3, 5),
+		geom.NewRect(7, 0, 5, 2),
+		geom.NewRect(0, 3, 4, 4),
+		geom.NewRect(7, 2, 3, 4),
+		geom.NewRect(4, 5, 3, 3),
+	}
+	sl := geom.NewSkyline(mods)
+	return Figure4Data{
+		Modules: mods,
+		Outline: sl.Outline(),
+		Covers:  geom.CoveringRectangles(mods),
+	}
+}
+
+// WriteFigure4 prints the Figure 4 decomposition.
+func WriteFigure4(w io.Writer, d Figure4Data) {
+	fmt.Fprintf(w, "Figure 4 — covering rectangles for a partial floorplan\n")
+	fmt.Fprintf(w, "fixed modules (N=%d):\n", len(d.Modules))
+	for _, r := range d.Modules {
+		fmt.Fprintf(w, "  %v\n", r)
+	}
+	fmt.Fprintf(w, "covering polygon outline: %v\n", d.Outline)
+	fmt.Fprintf(w, "covering rectangles (N*=%d <= N):\n", len(d.Covers))
+	for _, r := range d.Covers {
+		fmt.Fprintf(w, "  %v\n", r)
+	}
+}
+
+// Figure5 renders the placed ami33 floorplan as SVG (plus an ASCII
+// preview) into w.
+func Figure5(w io.Writer, mode Mode, svg io.Writer) error {
+	r, err := core.Floorplan(netlist.AMI33(), mode.baseConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 5 — ami33 floorplan\n%s", render.ASCII(r, 78))
+	if svg != nil {
+		return render.SVG(svg, r)
+	}
+	return nil
+}
+
+// Figure6 renders the floorplan with routing space (envelopes plus routed
+// channels) as SVG into svg and an ASCII preview into w.
+func Figure6(w io.Writer, mode Mode, svg io.Writer) error {
+	cfg := mode.baseConfig()
+	cfg.Envelopes = true
+	r, err := core.Floorplan(netlist.AMI33(), cfg)
+	if err != nil {
+		return err
+	}
+	rt, err := route.Route(r, route.Config{Algorithm: route.WeightedShortestPath})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 6 — ami33 floorplan with routing space\n%s", render.ASCII(r, 78))
+	fmt.Fprintf(w, "routed wirelength %.0f, overflow %d, final chip %.1f x %.1f\n",
+		rt.Wirelength, rt.Overflow, rt.FinalW, rt.FinalH)
+	if svg != nil {
+		return render.SVGWithRoutes(svg, r, rt)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+// flexChain builds a design of alternating flexible and rigid modules
+// whose quality depends strongly on the flexible shapes.
+func flexChain() *netlist.Design {
+	d := &netlist.Design{Name: "flexchain"}
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			d.Modules = append(d.Modules, netlist.Module{
+				Name: string(rune('a' + i)), Kind: netlist.Flexible,
+				Area: 18, MinAspect: 0.3, MaxAspect: 3,
+			})
+		} else {
+			d.Modules = append(d.Modules, netlist.Module{
+				Name: string(rune('a' + i)), Kind: netlist.Rigid, W: 5, H: 3, Rotatable: true,
+			})
+		}
+	}
+	return d
+}
+
+func TestAdjustFloorplanImprovesMonotonically(t *testing.T) {
+	d := flexChain()
+	base, err := Floorplan(d, Config{ChipWidth: 14, GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevArea := base.ChipArea()
+	cur := base
+	for it := 1; it <= 4; it++ {
+		opt, err := AdjustFloorplan(d, base, Config{ChipWidth: 14}, it)
+		if err != nil {
+			t.Fatalf("iters=%d: %v", it, err)
+		}
+		checkValid(t, d, opt)
+		if opt.ChipArea() > prevArea+1e-6 {
+			t.Fatalf("iters=%d: area %v worse than previous %v", it, opt.ChipArea(), prevArea)
+		}
+		prevArea = opt.ChipArea()
+		cur = opt
+	}
+	if cur.ChipArea() > base.ChipArea()+1e-9 {
+		t.Fatalf("adjustment worsened the floorplan: %v -> %v", base.ChipArea(), cur.ChipArea())
+	}
+}
+
+func TestAdjustFloorplanShrinksSecantWaste(t *testing.T) {
+	// One flexible module alone: the secant model reserves extra height at
+	// interior widths; iterating must converge the reserved box to the true
+	// module shape (zero waste), i.e. envelope ~= module.
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "f", Kind: netlist.Flexible, Area: 36, MinAspect: 0.25, MaxAspect: 4},
+			{Name: "r", Kind: netlist.Rigid, W: 9, H: 2},
+		},
+	}
+	start := &Result{
+		Design:    d,
+		ChipWidth: 9,
+		Height:    8,
+		Placements: []Placement{
+			{Index: 0, Env: geom.NewRect(0, 0, 6, 6), Mod: geom.NewRect(0, 0, 6, 6)},
+			{Index: 1, Env: geom.NewRect(0, 6, 9, 2), Mod: geom.NewRect(0, 6, 9, 2)},
+		},
+	}
+	opt, err := AdjustFloorplan(d, start, Config{ChipWidth: 9}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flexible should widen to 9 (height 4) and stack under the rigid:
+	// total height 6. With full convergence the envelope waste vanishes.
+	fp := opt.PlacementOf(0)
+	waste := fp.Env.Area() - fp.Mod.Area()
+	if waste > 0.5 {
+		t.Fatalf("residual linearization waste %v after 6 rounds (env %v, mod %v)",
+			waste, fp.Env, fp.Mod)
+	}
+	if opt.Height > 6.6 {
+		t.Fatalf("height = %v, want close to 6", opt.Height)
+	}
+}
+
+func TestOptimizeTopologyShrinksWidth(t *testing.T) {
+	// Two 2x2 modules stacked on a width-10 chip: phase 2 must report the
+	// bounding width 2, not the configured 10.
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 2, H: 2},
+			{Name: "b", Kind: netlist.Rigid, W: 2, H: 2},
+		},
+	}
+	loose := &Result{
+		Design:    d,
+		ChipWidth: 10,
+		Height:    4,
+		Placements: []Placement{
+			{Index: 0, Env: geom.NewRect(3, 0, 2, 2), Mod: geom.NewRect(3, 0, 2, 2)},
+			{Index: 1, Env: geom.NewRect(3, 2, 2, 2), Mod: geom.NewRect(3, 2, 2, 2)},
+		},
+	}
+	opt, err := OptimizeTopology(d, loose, Config{ChipWidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt.ChipWidth-2) > 1e-6 {
+		t.Fatalf("ChipWidth = %v, want 2 (bounding width)", opt.ChipWidth)
+	}
+	if math.Abs(opt.Height-4) > 1e-6 {
+		t.Fatalf("Height = %v, want 4", opt.Height)
+	}
+	if u := opt.Utilization(); math.Abs(u-1) > 1e-6 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestFloorplanCriticalNets(t *testing.T) {
+	// Modules 0 and 3 share a critical net; with a tight bound their
+	// centers must stay close (or the step must be flagged relaxed).
+	d := tinyDesign()
+	d.Nets = append(d.Nets, netlist.Net{Name: "crit", Modules: []int{0, 3}, Critical: true})
+	r, err := Floorplan(d, Config{ChipWidth: 8, GroupSize: 2, CriticalMaxLen: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	p0, p3 := r.PlacementOf(0), r.PlacementOf(3)
+	dist := math.Abs(p0.Mod.CenterX()-p3.Mod.CenterX()) + math.Abs(p0.Mod.CenterY()-p3.Mod.CenterY())
+	anyRelaxed := false
+	for _, s := range r.Steps {
+		if s.Relaxed {
+			anyRelaxed = true
+		}
+	}
+	if dist > 5+1e-6 && !anyRelaxed {
+		t.Fatalf("critical pair %v apart with bound 5 and no relaxed step", dist)
+	}
+}
+
+func TestFloorplanCriticalNetsInfeasibleRelaxes(t *testing.T) {
+	// An impossible bound (0.1) must not fail the floorplan; the affected
+	// steps are relaxed instead.
+	d := tinyDesign()
+	d.Nets = append(d.Nets, netlist.Net{Name: "crit", Modules: []int{0, 1}, Critical: true})
+	r, err := Floorplan(d, Config{ChipWidth: 8, GroupSize: 2, CriticalMaxLen: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	relaxed := false
+	for _, s := range r.Steps {
+		relaxed = relaxed || s.Relaxed
+	}
+	if !relaxed {
+		t.Fatal("expected at least one relaxed step for an impossible bound")
+	}
+}

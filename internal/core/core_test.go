@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"afp/internal/geom"
+	"afp/internal/milp"
+	"afp/internal/mipmodel"
+	"afp/internal/netlist"
+)
+
+func tinyDesign() *netlist.Design {
+	return &netlist.Design{
+		Name: "tiny",
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 4, H: 2, Rotatable: true},
+			{Name: "b", Kind: netlist.Rigid, W: 2, H: 2},
+			{Name: "c", Kind: netlist.Flexible, Area: 8, MinAspect: 0.5, MaxAspect: 2},
+			{Name: "d", Kind: netlist.Rigid, W: 2, H: 4, Rotatable: true},
+		},
+		Nets: []netlist.Net{
+			{Name: "n1", Modules: []int{0, 1}, Weight: 1},
+			{Name: "n2", Modules: []int{1, 2}, Weight: 1},
+			{Name: "n3", Modules: []int{2, 3}, Weight: 1},
+		},
+	}
+}
+
+func checkValid(t *testing.T, d *netlist.Design, r *Result) {
+	t.Helper()
+	if len(r.Placements) != len(d.Modules) {
+		t.Fatalf("placed %d of %d modules", len(r.Placements), len(d.Modules))
+	}
+	if r.Overlaps() {
+		t.Fatalf("floorplan has overlapping envelopes: %v", r.Envelopes())
+	}
+	for _, p := range r.Placements {
+		if p.Env.X < -1e-6 || p.Env.Y < -1e-6 {
+			t.Fatalf("module %d outside chip (negative): %v", p.Index, p.Env)
+		}
+		if p.Env.X2() > r.ChipWidth+1e-6 {
+			t.Fatalf("module %d crosses right edge: %v (W=%v)", p.Index, p.Env, r.ChipWidth)
+		}
+		if p.Env.Y2() > r.Height+1e-6 {
+			t.Fatalf("module %d above chip height %v: %v", p.Index, r.Height, p.Env)
+		}
+		if !p.Env.ContainsRect(p.Mod) {
+			t.Fatalf("module %d not inside its envelope: %v vs %v", p.Index, p.Mod, p.Env)
+		}
+	}
+	// Flexible modules conserve area; rigid keep their dimensions.
+	for _, p := range r.Placements {
+		m := &d.Modules[p.Index]
+		switch m.Kind {
+		case netlist.Flexible:
+			if math.Abs(p.Mod.Area()-m.Area) > 1e-6 {
+				t.Fatalf("flexible %q area %v, want %v", m.Name, p.Mod.Area(), m.Area)
+			}
+			ar := p.Mod.W / p.Mod.H
+			if ar < m.MinAspect-1e-6 || ar > m.MaxAspect+1e-6 {
+				t.Fatalf("flexible %q aspect %v outside [%v, %v]", m.Name, ar, m.MinAspect, m.MaxAspect)
+			}
+		default:
+			w, h := m.W, m.H
+			if p.Rotated {
+				w, h = h, w
+			}
+			if math.Abs(p.Mod.W-w) > 1e-6 || math.Abs(p.Mod.H-h) > 1e-6 {
+				t.Fatalf("rigid %q placed as %vx%v, want %vx%v", m.Name, p.Mod.W, p.Mod.H, w, h)
+			}
+		}
+	}
+}
+
+func TestFloorplanTiny(t *testing.T) {
+	d := tinyDesign()
+	r, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	// Total module area 8+4+8+8 = 28; chip 6 wide. A decent packing should
+	// land well under height 10 (utilization > 46%).
+	if r.Height > 10 {
+		t.Fatalf("height = %v, too loose", r.Height)
+	}
+	if u := r.Utilization(); u < 0.4 || u > 1.0+1e-9 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if len(r.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(r.Steps))
+	}
+}
+
+func TestFloorplanSingleGroupIsOptimal(t *testing.T) {
+	// With all modules in one group the subproblem is solved to proven
+	// optimality; for this instance the optimum height on a width-6 chip
+	// is 5 (28 area units cannot beat ceil(28/6)=4.67, and discreteness
+	// pushes it to at most 6; assert the solver proves optimality and
+	// beats the trivial stacking).
+	d := tinyDesign()
+	r, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	if r.Steps[0].Status != milp.StatusOptimal {
+		t.Fatalf("step status = %v, want optimal", r.Steps[0].Status)
+	}
+	if r.Height > 6+1e-6 {
+		t.Fatalf("height = %v, want <= 6", r.Height)
+	}
+	if r.Height < 28.0/6-1e-6 {
+		t.Fatalf("height = %v below area lower bound", r.Height)
+	}
+}
+
+func TestFloorplanAutoWidth(t *testing.T) {
+	d := tinyDesign()
+	r, err := Floorplan(d, Config{GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	if r.ChipWidth <= 0 {
+		t.Fatalf("auto width = %v", r.ChipWidth)
+	}
+}
+
+func TestFloorplanMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium floorplan in -short mode")
+	}
+	d := netlist.Random(10, 5)
+	r, err := Floorplan(d, Config{GroupSize: 3, MILP: milp.Options{MaxNodes: 3000, TimeLimit: 5 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	if u := r.Utilization(); u < 0.5 {
+		t.Fatalf("utilization = %v, suspiciously low", u)
+	}
+}
+
+func TestFloorplanWireObjective(t *testing.T) {
+	d := tinyDesign()
+	r, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2, Objective: mipmodel.AreaWire, WireWeight: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	if r.HPWL() <= 0 {
+		t.Fatalf("HPWL = %v", r.HPWL())
+	}
+}
+
+func TestFloorplanEnvelopes(t *testing.T) {
+	d := tinyDesign()
+	for i := range d.Modules {
+		d.Modules[i].Pins = [4]int{2, 2, 2, 2}
+	}
+	r, err := Floorplan(d, Config{ChipWidth: 8, GroupSize: 2, Envelopes: true, PitchH: 0.25, PitchV: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	// Envelopes must be strictly larger than modules.
+	for _, p := range r.Placements {
+		if p.Env.W <= p.Mod.W || p.Env.H <= p.Mod.H {
+			t.Fatalf("envelope %v not larger than module %v", p.Env, p.Mod)
+		}
+	}
+}
+
+func TestFloorplanDeterministic(t *testing.T) {
+	d := tinyDesign()
+	r1, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Height != r2.Height || len(r1.Placements) != len(r2.Placements) {
+		t.Fatal("floorplanner not deterministic")
+	}
+	for i := range r1.Placements {
+		if r1.Placements[i].Env != r2.Placements[i].Env {
+			t.Fatalf("placement %d differs: %v vs %v", i, r1.Placements[i].Env, r2.Placements[i].Env)
+		}
+	}
+}
+
+func TestFloorplanEmptyDesign(t *testing.T) {
+	r, err := Floorplan(&netlist.Design{}, Config{ChipWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Placements) != 0 || r.Height != 0 {
+		t.Fatalf("empty design result: %+v", r)
+	}
+}
+
+func TestFloorplanBadOrdering(t *testing.T) {
+	d := tinyDesign()
+	if _, err := Floorplan(d, Config{ChipWidth: 6, Ordering: []int{0, 1}}); err == nil {
+		t.Fatal("expected error for short ordering")
+	}
+}
+
+func TestFloorplanInvalidDesign(t *testing.T) {
+	d := &netlist.Design{Modules: []netlist.Module{{Name: "", Kind: netlist.Rigid, W: 1, H: 1}}}
+	if _, err := Floorplan(d, Config{ChipWidth: 5}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestOptimizeTopologyNeverWorse(t *testing.T) {
+	d := tinyDesign()
+	r, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimizeTopology(d, r, Config{ChipWidth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, opt)
+	if opt.Height > r.Height+1e-6 {
+		t.Fatalf("topology LP worsened height: %v -> %v", r.Height, opt.Height)
+	}
+}
+
+func TestOptimizeTopologyCompactsSlack(t *testing.T) {
+	// Hand-build a deliberately loose floorplan: two 2x2 modules with a
+	// gap; the LP must close the vertical slack.
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 2, H: 2},
+			{Name: "b", Kind: netlist.Rigid, W: 2, H: 2},
+		},
+	}
+	loose := &Result{
+		Design:    d,
+		ChipWidth: 4,
+		Height:    7,
+		Placements: []Placement{
+			{Index: 0, Env: geom.NewRect(0, 0, 2, 2), Mod: geom.NewRect(0, 0, 2, 2)},
+			{Index: 1, Env: geom.NewRect(0, 5, 2, 2), Mod: geom.NewRect(0, 5, 2, 2)},
+		},
+	}
+	opt, err := OptimizeTopology(d, loose, Config{ChipWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt.Height-4) > 1e-6 {
+		t.Fatalf("height = %v, want 4 (stacked tight)", opt.Height)
+	}
+	if opt.Overlaps() {
+		t.Fatal("optimized floorplan overlaps")
+	}
+}
+
+func TestOptimizeTopologyReshapesFlexible(t *testing.T) {
+	// A flexible module (area 8, aspect 0.5..2) placed at width 2 (height
+	// 4) beside a 2x2 rigid on a width-6 chip: widening the flexible to 4
+	// (height 2) reduces the chip height from 4 to 2.
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "f", Kind: netlist.Flexible, Area: 8, MinAspect: 0.5, MaxAspect: 2},
+			{Name: "r", Kind: netlist.Rigid, W: 2, H: 2},
+		},
+	}
+	start := &Result{
+		Design:    d,
+		ChipWidth: 6,
+		Height:    4,
+		Placements: []Placement{
+			{Index: 0, Env: geom.NewRect(0, 0, 2, 4), Mod: geom.NewRect(0, 0, 2, 4)},
+			{Index: 1, Env: geom.NewRect(2, 0, 2, 2), Mod: geom.NewRect(2, 0, 2, 2)},
+		},
+	}
+	opt, err := OptimizeTopology(d, start, Config{ChipWidth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Height > 4+1e-9 {
+		t.Fatalf("height = %v, must not exceed input", opt.Height)
+	}
+	// With the secant model height 2 is reachable only approximately; at
+	// minimum the LP should improve on 4.
+	if opt.Height >= 4-1e-9 {
+		t.Fatalf("height = %v, expected improvement below 4", opt.Height)
+	}
+	checkValid(t, d, opt)
+}
+
+func TestPostOptimizeFlag(t *testing.T) {
+	d := tinyDesign()
+	r, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2, PostOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, r)
+	if len(r.Steps) == 0 {
+		t.Fatal("steps lost by post-optimize")
+	}
+}
+
+func TestBottomLeftPacksTightly(t *testing.T) {
+	rects := bottomLeft(nil, []float64{2, 2, 2}, []float64{2, 2, 2}, 6)
+	if len(rects) != 3 {
+		t.Fatalf("placed %d", len(rects))
+	}
+	for _, r := range rects {
+		if r.Y != 0 {
+			t.Fatalf("expected ground placement, got %v", rects)
+		}
+	}
+	if i, j, bad := geom.AnyOverlap(rects); bad {
+		t.Fatalf("hint overlap %d/%d: %v", i, j, rects)
+	}
+}
+
+func TestBottomLeftStacksWhenNarrow(t *testing.T) {
+	rects := bottomLeft(nil, []float64{3, 3}, []float64{1, 1}, 4)
+	if rects[1].Y == 0 {
+		t.Fatalf("second box should stack: %v", rects)
+	}
+}
+
+func TestSupportHeight(t *testing.T) {
+	placed := []geom.Rect{geom.NewRect(0, 0, 2, 3), geom.NewRect(2, 0, 2, 1)}
+	if h := supportHeight(placed, 0, 2); h != 3 {
+		t.Fatalf("support over tall = %v", h)
+	}
+	if h := supportHeight(placed, 2, 4); h != 1 {
+		t.Fatalf("support over short = %v", h)
+	}
+	if h := supportHeight(placed, 4, 6); h != 0 {
+		t.Fatalf("support over empty = %v", h)
+	}
+	// Boundary touch does not count.
+	if h := supportHeight(placed, 2, 2); h != 0 {
+		t.Fatalf("zero-width span = %v", h)
+	}
+}

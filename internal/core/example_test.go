@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"afp/internal/core"
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+func rect(x, y, w, h float64) geom.Rect { return geom.NewRect(x, y, w, h) }
+
+// ExampleFloorplan shows the minimal flow: define a design, run
+// successive augmentation, inspect the result.
+func ExampleFloorplan() {
+	d := &netlist.Design{
+		Name: "example",
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 4, H: 2},
+			{Name: "b", Kind: netlist.Rigid, W: 2, H: 2},
+			{Name: "c", Kind: netlist.Rigid, W: 2, H: 2},
+		},
+	}
+	r, err := core.Floorplan(d, core.Config{ChipWidth: 4, GroupSize: 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("chip %.0f x %.0f, utilization %.0f%%\n",
+		r.ChipWidth, r.Height, 100*r.Utilization())
+	fmt.Println("legal:", len(r.Verify()) == 0)
+	// Output:
+	// chip 4 x 4, utilization 100%
+	// legal: true
+}
+
+// ExampleOptimizeTopology shows the Section 2.5 LP: fixed relative
+// positions, re-optimized coordinates.
+func ExampleOptimizeTopology() {
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 2, H: 2},
+			{Name: "b", Kind: netlist.Rigid, W: 2, H: 2},
+		},
+	}
+	loose := &core.Result{
+		Design:    d,
+		ChipWidth: 4,
+		Height:    9,
+		Placements: []core.Placement{
+			{Index: 0, Env: rect(0, 0, 2, 2), Mod: rect(0, 0, 2, 2)},
+			{Index: 1, Env: rect(0, 7, 2, 2), Mod: rect(0, 7, 2, 2)}, // floats high
+		},
+	}
+	opt, err := core.OptimizeTopology(d, loose, core.Config{ChipWidth: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("height %.0f -> %.0f, width %.0f -> %.0f\n",
+		loose.Height, opt.Height, loose.ChipWidth, opt.ChipWidth)
+	// Output:
+	// height 9 -> 4, width 4 -> 2
+}

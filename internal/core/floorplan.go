@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"afp/internal/geom"
+	"afp/internal/milp"
+	"afp/internal/mipmodel"
+	"afp/internal/netlist"
+	"afp/internal/order"
+)
+
+// Config tunes the successive-augmentation floorplanner.
+type Config struct {
+	// ChipWidth fixes the chip width W (constraints (3)). Zero selects a
+	// width automatically from the total module area.
+	ChipWidth float64
+	// GroupSize is the number of modules e added per augmentation step.
+	// Zero defaults to 4. The paper recommends keeping each subproblem at
+	// 10-12 placeable objects including covering rectangles.
+	GroupSize int
+	// SeedSize is the size of the first group (the "seed" of Figure 3).
+	// Zero defaults to GroupSize.
+	SeedSize int
+	// Objective selects chip area or chip area plus wirelength (Table 2).
+	Objective mipmodel.Objective
+	// WireWeight is the wirelength lambda for the AreaWire objective.
+	WireWeight float64
+	// Ordering optionally fixes the module selection order; nil uses the
+	// connectivity-based linear ordering of package order.
+	Ordering []int
+	// Envelopes enables routing envelopes (Section 3.2): each module is
+	// padded per side proportionally to its pin count.
+	Envelopes bool
+	// PitchH and PitchV are the per-track routing pitches used for
+	// envelope padding. Zero defaults to 0.1 layout units.
+	PitchH, PitchV float64
+	// Linearize selects the flexible-module approximation (default Secant,
+	// which guarantees overlap-free results; see mipmodel).
+	Linearize mipmodel.Linearization
+	// MILP tunes the per-step branch-and-bound solver. Zero values select
+	// defaults (30000 nodes, 20s per step).
+	MILP milp.Options
+	// PostOptimize runs the Section 2.5 fixed-topology LP after the last
+	// augmentation step ("adjust floorplan" of Figure 3).
+	PostOptimize bool
+	// AdjustIterations is the number of trust-region re-linearization
+	// rounds of the post-optimization (see AdjustFloorplan). Values below
+	// 1 default to 1 (a single fixed-topology LP); designs with flexible
+	// modules benefit from 3-4 rounds.
+	AdjustIterations int
+	// NoCoveringRects disables the covering-rectangle reformulation and
+	// presents every already-placed module to the subproblem individually.
+	// This exists for the ablation benchmarks only: it reproduces the
+	// naive formulation whose 0-1 variable count grows with the number of
+	// placed modules, which Section 3.1 is designed to avoid.
+	NoCoveringRects bool
+	// OverlappingCovers uses the overlapping covering-rectangle variant
+	// suggested at the end of Section 3.1, which usually summarizes the
+	// partial floorplan with fewer (grounded, mutually overlapping)
+	// rectangles than the disjoint edge-cut partition, further reducing
+	// the 0-1 variable count per step.
+	OverlappingCovers bool
+	// CriticalMaxLen, when positive, bounds the center-to-center Manhattan
+	// length of every pair of modules sharing a timing-critical net (the
+	// "additional constraints on the length of critical nets" of Section
+	// 2.2). Steps whose constraints turn out infeasible are retried
+	// without them and flagged Relaxed in the trace.
+	CriticalMaxLen float64
+}
+
+func (c *Config) withDefaults(d *netlist.Design) Config {
+	cfg := *c
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = 4
+	}
+	if cfg.SeedSize <= 0 {
+		cfg.SeedSize = cfg.GroupSize
+	}
+	if cfg.PitchH <= 0 {
+		cfg.PitchH = 0.1
+	}
+	if cfg.PitchV <= 0 {
+		cfg.PitchV = 0.1
+	}
+	if cfg.MILP.MaxNodes <= 0 {
+		cfg.MILP.MaxNodes = 30000
+	}
+	if cfg.MILP.TimeLimit <= 0 {
+		cfg.MILP.TimeLimit = 20 * time.Second
+	}
+	if cfg.ChipWidth <= 0 {
+		cfg.ChipWidth = autoWidth(d, &cfg)
+	}
+	return cfg
+}
+
+// pads returns the envelope paddings of module i under cfg.
+func (c *Config) pads(m *netlist.Module) (padW, padH float64) {
+	if !c.Envelopes {
+		return 0, 0
+	}
+	padW = c.PitchV * float64(m.Pins[netlist.East]+m.Pins[netlist.West])
+	padH = c.PitchH * float64(m.Pins[netlist.North]+m.Pins[netlist.South])
+	return padW, padH
+}
+
+// autoWidth picks a chip width: slightly above the square-root of the
+// total padded module area, but never below the widest module's minimal
+// width.
+func autoWidth(d *netlist.Design, cfg *Config) float64 {
+	var area, minW float64
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		padW, padH := cfg.pads(m)
+		wmin, wmax := m.WidthRange()
+		h := m.HeightFor(wmax)
+		area += (wmax + padW) * (h + padH)
+		if w := wmin + padW; w > minW {
+			minW = w
+		}
+	}
+	w := math.Sqrt(area) * 1.05
+	if w < minW {
+		w = minW
+	}
+	return w
+}
+
+// Floorplan runs the successive-augmentation algorithm of Figure 3 on the
+// design and returns the resulting floorplan.
+func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	c := cfg.withDefaults(d)
+	n := len(d.Modules)
+	res := &Result{Design: d, ChipWidth: c.ChipWidth}
+	if n == 0 {
+		return res, nil
+	}
+
+	ord := c.Ordering
+	if ord == nil {
+		ord = order.Linear(d)
+	}
+	if len(ord) != n {
+		return nil, fmt.Errorf("core: ordering has %d entries for %d modules", len(ord), n)
+	}
+
+	var connMat [][]float64
+	if c.Objective == mipmodel.AreaWire {
+		connMat = d.Connectivity()
+	}
+
+	// Critical-pair list per module pair, derived once from the critical
+	// nets (Section 2.2 timing constraints).
+	var critPairs [][2]int
+	if c.CriticalMaxLen > 0 {
+		seen := map[[2]int]bool{}
+		for _, net := range d.Nets {
+			if !net.Critical {
+				continue
+			}
+			for a := 0; a < len(net.Modules); a++ {
+				for b := a + 1; b < len(net.Modules); b++ {
+					i, j := net.Modules[a], net.Modules[b]
+					if i > j {
+						i, j = j, i
+					}
+					if !seen[[2]int{i, j}] {
+						seen[[2]int{i, j}] = true
+						critPairs = append(critPairs, [2]int{i, j})
+					}
+				}
+			}
+		}
+	}
+
+	var envs []geom.Rect // placed envelopes, in placement order
+	pos := 0
+	step := 0
+	for pos < n {
+		e := c.GroupSize
+		if step == 0 {
+			e = c.SeedSize
+		}
+		if pos+e > n {
+			e = n - pos
+		}
+		group := ord[pos : pos+e]
+
+		obstacles := geom.CoveringRectangles(envs)
+		if c.OverlappingCovers {
+			obstacles = geom.CoveringRectanglesOverlapping(envs)
+		}
+		if c.NoCoveringRects {
+			obstacles = append([]geom.Rect(nil), envs...)
+		}
+		spec := &mipmodel.Spec{
+			ChipWidth:  c.ChipWidth,
+			Objective:  c.Objective,
+			WireWeight: c.WireWeight,
+			Linearize:  c.Linearize,
+			Obstacles:  obstacles,
+		}
+		for _, mi := range group {
+			m := &d.Modules[mi]
+			padW, padH := c.pads(m)
+			spec.New = append(spec.New, mipmodel.NewModule{Index: mi, Mod: m, PadW: padW, PadH: padH})
+		}
+		inGroup := make(map[int]bool, len(group))
+		for _, mi := range group {
+			inGroup[mi] = true
+		}
+
+		// Critical pairs touching the group; also collect the placed modules
+		// those pairs need as anchors.
+		needAnchor := map[int]bool{}
+		for _, cp := range critPairs {
+			i, j := cp[0], cp[1]
+			if inGroup[i] || inGroup[j] {
+				spec.Critical = append(spec.Critical,
+					mipmodel.CriticalPair{A: i, B: j, MaxLen: c.CriticalMaxLen})
+				if !inGroup[i] {
+					needAnchor[i] = true
+				}
+				if !inGroup[j] {
+					needAnchor[j] = true
+				}
+			}
+		}
+
+		if c.Objective == mipmodel.AreaWire {
+			spec.Conn = func(a, b int) float64 { return connMat[a][b] }
+			// Anchor every placed module that connects to the group.
+			for _, p := range res.Placements {
+				for _, mi := range group {
+					if connMat[p.Index][mi] > 0 {
+						needAnchor[p.Index] = true
+						break
+					}
+				}
+			}
+		}
+		for _, p := range res.Placements {
+			if needAnchor[p.Index] {
+				spec.Anchors = append(spec.Anchors,
+					mipmodel.Anchor{Index: p.Index, X: p.Mod.CenterX(), Y: p.Mod.CenterY()})
+			}
+		}
+
+		built, err := mipmodel.Build(spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", step, err)
+		}
+
+		// Seed branch and bound with a bottom-left packing of the group.
+		hintEnvs, rotated, dws := bottomLeftHint(spec, obstacles)
+		opts := c.MILP
+		opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
+
+		stepStart := time.Now()
+		mres := milp.Solve(built.Model, opts)
+		relaxed := false
+		if mres.X == nil && len(spec.Critical) > 0 {
+			// The timing bounds made this step infeasible (e.g. the partner
+			// module was placed too far away in an earlier step): retry
+			// without them, as the paper's method degrades these constraints
+			// to objectives rather than failing the floorplan.
+			relaxed = true
+			spec.Critical = nil
+			built, err = mipmodel.Build(spec)
+			if err != nil {
+				return nil, fmt.Errorf("core: step %d: %w", step, err)
+			}
+			opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
+			mres = milp.Solve(built.Model, opts)
+		}
+		if mres.X == nil {
+			return nil, fmt.Errorf("core: step %d: subproblem %v (status %v)", step, spec, mres.Status)
+		}
+
+		pls := built.Decode(mres.X)
+		for _, p := range pls {
+			res.Placements = append(res.Placements, Placement{
+				Index: p.Index, Env: p.Env, Mod: p.Mod, Rotated: p.Rotated,
+			})
+			envs = append(envs, p.Env)
+		}
+		res.Steps = append(res.Steps, StepTrace{
+			Step:      step,
+			Added:     append([]int(nil), group...),
+			Obstacles: len(obstacles),
+			Modules:   pos,
+			Binaries:  len(built.Model.Ints),
+			Nodes:     mres.Nodes,
+			Status:    mres.Status,
+			Height:    geom.NewSkyline(envs).MaxHeight(),
+			Elapsed:   time.Since(stepStart),
+			Relaxed:   relaxed,
+		})
+		pos += e
+		step++
+	}
+
+	res.Height = geom.NewSkyline(envs).MaxHeight()
+	res.Elapsed = time.Since(start)
+
+	if c.PostOptimize {
+		iters := c.AdjustIterations
+		if iters < 1 {
+			iters = 1
+		}
+		opt, err := AdjustFloorplan(d, res, c, iters)
+		if err != nil {
+			return nil, fmt.Errorf("core: post-optimize: %w", err)
+		}
+		opt.Steps = res.Steps
+		opt.Elapsed = time.Since(start)
+		return opt, nil
+	}
+	return res, nil
+}
+
+// bottomLeftHint builds a feasible packing of the group above the
+// obstacles: modules in their default orientation, flexible modules at
+// maximum width (dw = 0).
+func bottomLeftHint(spec *mipmodel.Spec, obstacles []geom.Rect) (envsOut []geom.Rect, rotated []bool, dws []float64) {
+	ws := make([]float64, len(spec.New))
+	hs := make([]float64, len(spec.New))
+	rotated = make([]bool, len(spec.New))
+	dws = make([]float64, len(spec.New))
+	for i := range spec.New {
+		m := spec.New[i].Mod
+		padW, padH := spec.New[i].PadW, spec.New[i].PadH
+		switch m.Kind {
+		case netlist.Flexible:
+			// Maximum width (dw = 0), matching the model's default point.
+			_, wmax := m.WidthRange()
+			ws[i] = wmax + padW
+			hs[i] = m.HeightFor(wmax) + padH
+		default:
+			ws[i] = m.W + padW
+			hs[i] = m.H + padH
+			if ws[i] > spec.ChipWidth && m.Rotatable {
+				// Default orientation does not fit the chip: hint it rotated.
+				rotated[i] = true
+				ws[i], hs[i] = m.H+padH, m.W+padW
+			}
+		}
+	}
+	envsOut = bottomLeft(obstacles, ws, hs, spec.ChipWidth)
+	return envsOut, rotated, dws
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"afp/internal/geom"
+)
+
+// bottomLeft greedily places boxes of the given dimensions above the
+// existing obstacles using a skyline bottom-left rule: each box goes to
+// the position with the lowest feasible top edge (ties broken leftward).
+// It returns one rectangle per input box. The result is used only as a
+// branch-and-bound incumbent seed, so simplicity beats optimality here.
+func bottomLeft(obstacles []geom.Rect, ws, hs []float64, chipW float64) []geom.Rect {
+	placed := append([]geom.Rect(nil), obstacles...)
+	out := make([]geom.Rect, len(ws))
+	for k := range ws {
+		w, h := ws[k], hs[k]
+		if w > chipW {
+			w = chipW // degenerate guard; Build rejects this case upstream
+		}
+		// Candidate x positions: 0 and the left/right edges of everything
+		// placed so far.
+		xs := []float64{0}
+		for _, r := range placed {
+			xs = append(xs, r.X, r.X2())
+		}
+		sort.Float64s(xs)
+		bestX, bestY := 0.0, math.Inf(1)
+		for _, x := range xs {
+			if x < 0 || x+w > chipW+1e-9 {
+				continue
+			}
+			y := supportHeight(placed, x, x+w)
+			if y < bestY-1e-12 {
+				bestX, bestY = x, y
+			}
+		}
+		if math.IsInf(bestY, 1) {
+			// No candidate fit (extremely narrow chip); stack on top of
+			// everything at x = 0.
+			bestX, bestY = 0, supportHeight(placed, 0, w)
+		}
+		r := geom.NewRect(bestX, bestY, w, h)
+		placed = append(placed, r)
+		out[k] = r
+	}
+	return out
+}
+
+// supportHeight returns the lowest y at which a box spanning [x1, x2) can
+// rest given the placed rectangles: the maximum top edge among rectangles
+// intersecting that x-range.
+func supportHeight(placed []geom.Rect, x1, x2 float64) float64 {
+	y := 0.0
+	for _, r := range placed {
+		if r.X < x2-1e-9 && x1 < r.X2()-1e-9 {
+			if t := r.Y2(); t > y {
+				y = t
+			}
+		}
+	}
+	return y
+}

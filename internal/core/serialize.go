@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+// resultJSON is the on-disk schema of a floorplan result.
+type resultJSON struct {
+	Design     string          `json:"design"`
+	ChipWidth  float64         `json:"chipWidth"`
+	Height     float64         `json:"height"`
+	Placements []placementJSON `json:"placements"`
+}
+
+type placementJSON struct {
+	Index   int     `json:"index"`
+	Name    string  `json:"name"`
+	EnvX    float64 `json:"envX"`
+	EnvY    float64 `json:"envY"`
+	EnvW    float64 `json:"envW"`
+	EnvH    float64 `json:"envH"`
+	ModX    float64 `json:"modX"`
+	ModY    float64 `json:"modY"`
+	ModW    float64 `json:"modW"`
+	ModH    float64 `json:"modH"`
+	Rotated bool    `json:"rotated,omitempty"`
+}
+
+// SaveJSON writes the floorplan to w as JSON, suitable for archiving a
+// placement or handing it to external tooling.
+func (r *Result) SaveJSON(w io.Writer) error {
+	out := resultJSON{
+		Design:    r.Design.Name,
+		ChipWidth: r.ChipWidth,
+		Height:    r.Height,
+	}
+	for _, p := range r.Placements {
+		name := ""
+		if p.Index >= 0 && p.Index < len(r.Design.Modules) {
+			name = r.Design.Modules[p.Index].Name
+		}
+		out.Placements = append(out.Placements, placementJSON{
+			Index: p.Index, Name: name,
+			EnvX: p.Env.X, EnvY: p.Env.Y, EnvW: p.Env.W, EnvH: p.Env.H,
+			ModX: p.Mod.X, ModY: p.Mod.Y, ModW: p.Mod.W, ModH: p.Mod.H,
+			Rotated: p.Rotated,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadJSON reads a floorplan previously written by SaveJSON and binds it
+// to the given design. Modules are matched by name (falling back to the
+// stored index when the name is absent), and the reconstructed result is
+// verified structurally (every referenced module must exist).
+func LoadJSON(d *netlist.Design, r io.Reader) (*Result, error) {
+	var in resultJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding floorplan JSON: %w", err)
+	}
+	out := &Result{Design: d, ChipWidth: in.ChipWidth, Height: in.Height}
+	for i, pj := range in.Placements {
+		idx := -1
+		if pj.Name != "" {
+			idx = d.ModuleIndex(pj.Name)
+		}
+		if idx < 0 && pj.Index >= 0 && pj.Index < len(d.Modules) {
+			idx = pj.Index
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("core: placement %d references unknown module %q (index %d)",
+				i, pj.Name, pj.Index)
+		}
+		out.Placements = append(out.Placements, Placement{
+			Index:   idx,
+			Env:     geom.NewRect(pj.EnvX, pj.EnvY, pj.EnvW, pj.EnvH),
+			Mod:     geom.NewRect(pj.ModX, pj.ModY, pj.ModW, pj.ModH),
+			Rotated: pj.Rotated,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadJSONRoundTrip(t *testing.T) {
+	d := tinyDesign()
+	r, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSON(d, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ChipWidth != r.ChipWidth || loaded.Height != r.Height {
+		t.Fatalf("chip %vx%v != %vx%v", loaded.ChipWidth, loaded.Height, r.ChipWidth, r.Height)
+	}
+	if len(loaded.Placements) != len(r.Placements) {
+		t.Fatalf("placements %d != %d", len(loaded.Placements), len(r.Placements))
+	}
+	for i := range r.Placements {
+		if loaded.Placements[i] != r.Placements[i] {
+			t.Fatalf("placement %d differs: %+v vs %+v", i, loaded.Placements[i], r.Placements[i])
+		}
+	}
+	if v := loaded.Verify(); len(v) != 0 {
+		t.Fatalf("loaded floorplan illegal: %v", v)
+	}
+}
+
+func TestLoadJSONByName(t *testing.T) {
+	// Names take precedence over stored indices, so a module reorder in
+	// the design still resolves correctly.
+	d := tinyDesign()
+	src := `{
+	  "design": "tiny", "chipWidth": 6, "height": 4,
+	  "placements": [
+	    {"index": 99, "name": "b", "envX": 0, "envY": 0, "envW": 2, "envH": 2,
+	     "modX": 0, "modY": 0, "modW": 2, "modH": 2}
+	  ]
+	}`
+	r, err := LoadJSON(d, strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Placements[0].Index != d.ModuleIndex("b") {
+		t.Fatalf("resolved index %d, want %d", r.Placements[0].Index, d.ModuleIndex("b"))
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	d := tinyDesign()
+	if _, err := LoadJSON(d, strings.NewReader("{broken")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	unknown := `{"design":"x","chipWidth":1,"height":1,
+	  "placements":[{"index": 99, "name": "nope"}]}`
+	if _, err := LoadJSON(d, strings.NewReader(unknown)); err == nil {
+		t.Fatal("expected unknown module error")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"afp/internal/netlist"
+)
+
+// SweepResult is the outcome of one width trial of FloorplanBestWidth.
+type SweepResult struct {
+	Factor float64
+	Width  float64
+	Result *Result
+	Err    error
+}
+
+// FloorplanBestWidth runs the floorplanner at several chip widths —
+// cfg.ChipWidth (or the automatic width) scaled by each factor — and
+// returns the floorplan with the smallest final chip area, together with
+// all per-trial outcomes. The paper fixes one chip dimension and
+// minimizes the other (constraints (3)); since the best fixed width is
+// not known in advance, sweeping a few candidates and keeping the best is
+// the natural outer loop. Trials run concurrently; the selection is
+// deterministic (ties break toward the smaller factor).
+func FloorplanBestWidth(d *netlist.Design, cfg Config, factors []float64) (*Result, []SweepResult, error) {
+	if len(factors) == 0 {
+		factors = []float64{0.9, 1.0, 1.1}
+	}
+	base := cfg.ChipWidth
+	if base <= 0 {
+		c := cfg.withDefaults(d)
+		base = c.ChipWidth
+	}
+
+	trials := make([]SweepResult, len(factors))
+	var wg sync.WaitGroup
+	for i, f := range factors {
+		wg.Add(1)
+		go func(i int, f float64) {
+			defer wg.Done()
+			c := cfg
+			c.ChipWidth = base * f
+			r, err := Floorplan(d, c)
+			trials[i] = SweepResult{Factor: f, Width: c.ChipWidth, Result: r, Err: err}
+		}(i, f)
+	}
+	wg.Wait()
+
+	best := -1
+	for i, tr := range trials {
+		if tr.Err != nil || tr.Result == nil {
+			continue
+		}
+		if best < 0 || tr.Result.ChipArea() < trials[best].Result.ChipArea()-1e-9 {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Surface the first error.
+		for _, tr := range trials {
+			if tr.Err != nil {
+				return nil, trials, fmt.Errorf("core: width sweep: %w", tr.Err)
+			}
+		}
+		return nil, trials, fmt.Errorf("core: width sweep produced no floorplan")
+	}
+	return trials[best].Result, trials, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"afp/internal/netlist"
+)
+
+func TestFloorplanBestWidth(t *testing.T) {
+	d := tinyDesign()
+	best, trials, err := FloorplanBestWidth(d, Config{ChipWidth: 6, GroupSize: 2},
+		[]float64{0.8, 1.0, 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 3 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	checkValid(t, d, best)
+	// Best is no worse than any individual trial.
+	for _, tr := range trials {
+		if tr.Err != nil {
+			continue
+		}
+		if best.ChipArea() > tr.Result.ChipArea()+1e-9 {
+			t.Fatalf("best area %v worse than trial %v (factor %v)",
+				best.ChipArea(), tr.Result.ChipArea(), tr.Factor)
+		}
+	}
+}
+
+func TestFloorplanBestWidthDefaults(t *testing.T) {
+	d := tinyDesign()
+	best, trials, err := FloorplanBestWidth(d, Config{GroupSize: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 3 {
+		t.Fatalf("default factors = %d trials", len(trials))
+	}
+	checkValid(t, d, best)
+}
+
+func TestFloorplanBestWidthDeterministic(t *testing.T) {
+	d := netlist.Random(6, 12)
+	b1, _, err := FloorplanBestWidth(d, Config{GroupSize: 3}, []float64{0.9, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := FloorplanBestWidth(d, Config{GroupSize: 3}, []float64{0.9, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.ChipArea() != b2.ChipArea() || b1.ChipWidth != b2.ChipWidth {
+		t.Fatal("width sweep not deterministic")
+	}
+}
+
+func TestFloorplanBestWidthAllFail(t *testing.T) {
+	// A module wider than every candidate chip width fails all trials.
+	d := &netlist.Design{Modules: []netlist.Module{
+		{Name: "wide", Kind: netlist.Rigid, W: 100, H: 1},
+	}}
+	_, _, err := FloorplanBestWidth(d, Config{ChipWidth: 5, GroupSize: 1}, []float64{1})
+	if err == nil {
+		t.Fatal("expected sweep failure")
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+
+	"afp/internal/geom"
+	"afp/internal/lp"
+	"afp/internal/mipmodel"
+	"afp/internal/netlist"
+)
+
+// OptimizeTopology implements Section 2.5 of the paper: with the chip
+// topology given (here: derived from an existing floorplan), all 0-1
+// variables disappear — for every pair of modules one of the four
+// relations of disjunction (2) is already known — and the floorplan
+// collapses to a pure linear program over module positions and flexible
+// module shapes. The LP re-optimizes positions and shapes under the fixed
+// relations; the result is never worse than the input floorplan. A second
+// lexicographic phase then minimizes the bounding width at the optimal
+// height, so the returned ChipWidth may shrink.
+//
+// Orientations of rigid modules are kept as placed. Flexible modules keep
+// their linearized shape model (cfg.Linearize) and may change width.
+func OptimizeTopology(d *netlist.Design, prev *Result, cfg Config) (*Result, error) {
+	return optimizeTopologyRanges(d, prev, cfg, nil)
+}
+
+// AdjustFloorplan runs the fixed-topology LP iters times, each round
+// narrowing every flexible module's width interval around its current
+// optimum and re-linearizing h = S/w over the narrower interval — a
+// trust-region variant of the paper's Figure 1 linearization and its
+// final "adjust floorplan" step. Because the secant chord always lies on
+// or above the hyperbola, every intermediate floorplan stays overlap-free
+// while the approximation error contracts geometrically.
+func AdjustFloorplan(d *netlist.Design, prev *Result, cfg Config, iters int) (*Result, error) {
+	cur := prev
+	var ranges map[int][2]float64
+	for it := 0; it < iters; it++ {
+		opt, err := optimizeTopologyRanges(d, cur, cfg, ranges)
+		if err != nil {
+			return nil, err
+		}
+		cur = opt
+		// Narrow each flexible interval around the chosen width; the span
+		// halves every iteration.
+		ranges = make(map[int][2]float64)
+		for _, p := range cur.Placements {
+			m := &d.Modules[p.Index]
+			if m.Kind != netlist.Flexible {
+				continue
+			}
+			wmin, wmax := m.WidthRange()
+			span := (wmax - wmin) / float64(int(2)<<it)
+			w := p.Mod.W
+			lo, hi := w-span, w+span
+			if lo < wmin {
+				lo = wmin
+			}
+			if hi > wmax {
+				hi = wmax
+			}
+			if hi-lo < 1e-9 {
+				lo, hi = w, w
+			}
+			ranges[p.Index] = [2]float64{lo, hi}
+		}
+	}
+	return cur, nil
+}
+
+// optimizeTopologyRanges is OptimizeTopology with optional per-module
+// width-interval overrides for flexible modules (keyed by design index).
+func optimizeTopologyRanges(d *netlist.Design, prev *Result, cfg Config, widthRanges map[int][2]float64) (*Result, error) {
+	if len(prev.Placements) == 0 {
+		return prev, nil
+	}
+	c := cfg.withDefaults(d)
+	// Preserve the chip width the floorplan was built for.
+	if cfg.ChipWidth <= 0 {
+		c.ChipWidth = prev.ChipWidth
+	}
+	W := c.ChipWidth
+	n := len(prev.Placements)
+
+	p := lp.NewProblem()
+
+	// Dimension model per placement: rigid modules use their placed
+	// envelope dimensions (orientation fixed); flexible modules get a
+	// width-decrease variable dw with the configured linearization.
+	type item struct {
+		x, y, dw       lp.VarID
+		wConst, hConst float64
+		hSlope, dwMax  float64
+		flexible       bool
+		pl             *Placement
+	}
+	items := make([]item, n)
+	var hBound float64
+	for i := range prev.Placements {
+		pl := &prev.Placements[i]
+		m := &d.Modules[pl.Index]
+		it := item{pl: pl, dw: -1}
+		padW, padH := c.pads(m)
+		if m.Kind == netlist.Flexible {
+			wmin, wmax := m.WidthRange()
+			if r, ok := widthRanges[pl.Index]; ok {
+				wmin, wmax = r[0], r[1]
+			}
+			if wmax-wmin > 1e-12 {
+				it.flexible = true
+				it.wConst = wmax + padW
+				it.hConst = m.HeightFor(wmax) + padH
+				it.dwMax = wmax - wmin
+				if c.Linearize == mipmodel.Tangent {
+					it.hSlope = m.Area / (wmax * wmax)
+				} else {
+					it.hSlope = (m.HeightFor(wmin) - m.HeightFor(wmax)) / (wmax - wmin)
+				}
+				it.dw = p.AddVariable(fmt.Sprintf("dw.%s", m.Name), 0, it.dwMax, 0)
+			} else {
+				it.wConst = wmin + padW
+				it.hConst = m.HeightFor(wmin) + padH
+			}
+		} else {
+			// Envelope dimensions as placed (rotation already applied).
+			it.wConst = pl.Env.W
+			it.hConst = pl.Env.H
+		}
+		hBound += it.hConst + it.hSlope*it.dwMax
+		items[i] = it
+	}
+	for i := range items {
+		m := &d.Modules[items[i].pl.Index]
+		xHi := W - (items[i].wConst - items[i].dwMax) // minimum effective width
+		if xHi < 0 {
+			return nil, fmt.Errorf("core: module %q cannot fit chip width %g", m.Name, W)
+		}
+		items[i].x = p.AddVariable(fmt.Sprintf("x.%s", m.Name), 0, xHi, 0)
+		items[i].y = p.AddVariable(fmt.Sprintf("y.%s", m.Name), 0, hBound, 0)
+	}
+	height := p.AddVariable("chip.height", 0, hBound, 1)
+
+	weff := func(i int, scale float64) ([]lp.Term, float64) {
+		it := items[i]
+		var terms []lp.Term
+		if it.flexible {
+			terms = append(terms, lp.Term{Var: it.dw, Coef: -scale})
+		}
+		return terms, it.wConst * scale
+	}
+	heffF := func(i int, scale float64) ([]lp.Term, float64) {
+		it := items[i]
+		var terms []lp.Term
+		if it.flexible {
+			terms = append(terms, lp.Term{Var: it.dw, Coef: it.hSlope * scale})
+		}
+		return terms, it.hConst * scale
+	}
+
+	// Chip width variable: the paper defines the optimal floorplan as the
+	// minimal covering rectangle (Section 2.2), so after minimizing the
+	// height a second lexicographic phase shrinks the bounding width too.
+	widthV := p.AddVariable("chip.width", 0, W, 0)
+	phase1 := []lp.Term{{Var: height, Coef: 1}} // phase-1 objective terms
+
+	// Fit and height rows.
+	for i := range items {
+		wt, wc := weff(i, 1)
+		fit := append([]lp.Term{{Var: items[i].x, Coef: 1}, {Var: widthV, Coef: -1}}, wt...)
+		p.AddConstraint("fit", fit, lp.LE, -wc)
+		ht, hc := heffF(i, 1)
+		row := []lp.Term{{Var: height, Coef: 1}, {Var: items[i].y, Coef: -1}}
+		for _, t := range ht {
+			row = append(row, lp.Term{Var: t.Var, Coef: -t.Coef})
+		}
+		p.AddConstraint("height", row, lp.GE, hc)
+	}
+
+	// One relation per pair, read off the existing floorplan. This is the
+	// collapse of disjunction (2) to a single inequality described in
+	// Section 2.5.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := items[i].pl.Env, items[j].pl.Env
+			switch rel := relationOf(a, b); rel {
+			case relLeft, relRight:
+				lo, hi := i, j
+				if rel == relRight {
+					lo, hi = j, i
+				}
+				wt, wc := weff(lo, 1)
+				row := append([]lp.Term{{Var: items[lo].x, Coef: 1}, {Var: items[hi].x, Coef: -1}}, wt...)
+				p.AddConstraint("rel.h", row, lp.LE, -wc)
+			default:
+				lo, hi := i, j
+				if rel == relAbove {
+					lo, hi = j, i
+				}
+				ht, hc := heffF(lo, 1)
+				row := append([]lp.Term{{Var: items[lo].y, Coef: 1}, {Var: items[hi].y, Coef: -1}}, ht...)
+				p.AddConstraint("rel.v", row, lp.LE, -hc)
+			}
+		}
+	}
+
+	// Optional wirelength term over all connected pairs.
+	if c.Objective == mipmodel.AreaWire {
+		lambda := c.WireWeight
+		if lambda <= 0 {
+			lambda = 0.05
+		}
+		conn := d.Connectivity()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				cw := conn[items[i].pl.Index][items[j].pl.Index]
+				if cw <= 0 {
+					continue
+				}
+				dx := p.AddVariable("dx", 0, W, lambda*cw)
+				dy := p.AddVariable("dy", 0, hBound, lambda*cw)
+				phase1 = append(phase1,
+					lp.Term{Var: dx, Coef: lambda * cw}, lp.Term{Var: dy, Coef: lambda * cw})
+				cxa, cca := weff(i, 0.5)
+				cxa = append(cxa, lp.Term{Var: items[i].x, Coef: 1})
+				cxb, ccb := weff(j, 0.5)
+				cxb = append(cxb, lp.Term{Var: items[j].x, Coef: 1})
+				addAbs(p, dx, cxa, cca, cxb, ccb)
+				cya, hca := heffF(i, 0.5)
+				cya = append(cya, lp.Term{Var: items[i].y, Coef: 1})
+				cyb, hcb := heffF(j, 0.5)
+				cyb = append(cyb, lp.Term{Var: items[j].y, Coef: 1})
+				addAbs(p, dy, cya, hca, cyb, hcb)
+			}
+		}
+	}
+
+	sol, err := p.SolveOpts(lp.Options{MaxIter: 200000})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("core: topology LP %v", sol.Status)
+	}
+
+	// Phase 2: freeze the phase-1 objective at its optimum (within a tiny
+	// relative tolerance) and minimize the bounding width.
+	obj1 := sol.Objective
+	p.AddConstraint("phase1.freeze", phase1, lp.LE, obj1+1e-7*(1+obj1))
+	for _, t := range phase1 {
+		p.SetObjectiveCoef(t.Var, 0)
+	}
+	p.SetObjectiveCoef(widthV, 1)
+	sol2, err := p.SolveOpts(lp.Options{MaxIter: 200000})
+	if err != nil {
+		return nil, err
+	}
+	if sol2.Status == lp.StatusOptimal {
+		sol = sol2
+	}
+
+	out := &Result{Design: d, ChipWidth: sol.X[widthV], Height: sol.X[height]}
+	for i := range items {
+		it := items[i]
+		m := &d.Modules[it.pl.Index]
+		dw := 0.0
+		if it.dw >= 0 {
+			dw = sol.X[it.dw]
+		}
+		envW := it.wConst - dw
+		envH := it.hConst + it.hSlope*dw
+		env := geom.NewRect(sol.X[it.x], sol.X[it.y], envW, envH)
+		padW, padH := c.pads(m)
+		if it.pl.Rotated {
+			padW, padH = padH, padW
+		}
+		var mod geom.Rect
+		if m.Kind == netlist.Flexible {
+			mw := envW - padW
+			mod = geom.NewRect(env.X+padW/2, env.Y+padH/2, mw, m.Area/mw)
+		} else {
+			mod = geom.NewRect(env.X+padW/2, env.Y+padH/2, envW-padW, envH-padH)
+		}
+		out.Placements = append(out.Placements, Placement{
+			Index: it.pl.Index, Env: env, Mod: mod, Rotated: it.pl.Rotated,
+		})
+	}
+	return out, nil
+}
+
+type relation int
+
+const (
+	relLeft relation = iota
+	relRight
+	relBelow
+	relAbove
+)
+
+// relationOf picks the satisfied relation of disjunction (2) for two
+// non-overlapping rectangles, preferring horizontal separations.
+func relationOf(a, b geom.Rect) relation {
+	const eps = 1e-7
+	switch {
+	case a.X2() <= b.X+eps:
+		return relLeft
+	case b.X2() <= a.X+eps:
+		return relRight
+	case a.Y2() <= b.Y+eps:
+		return relBelow
+	default:
+		return relAbove
+	}
+}
+
+// addAbs adds d >= |(exprA+ca) - (exprB+cb)| rows.
+func addAbs(p *lp.Problem, d lp.VarID, exprA []lp.Term, ca float64, exprB []lp.Term, cb float64) {
+	row1 := []lp.Term{{Var: d, Coef: 1}}
+	for _, t := range exprA {
+		row1 = append(row1, lp.Term{Var: t.Var, Coef: -t.Coef})
+	}
+	for _, t := range exprB {
+		row1 = append(row1, lp.Term{Var: t.Var, Coef: t.Coef})
+	}
+	p.AddConstraint("abs+", row1, lp.GE, ca-cb)
+	row2 := []lp.Term{{Var: d, Coef: 1}}
+	for _, t := range exprA {
+		row2 = append(row2, lp.Term{Var: t.Var, Coef: t.Coef})
+	}
+	for _, t := range exprB {
+		row2 = append(row2, lp.Term{Var: t.Var, Coef: -t.Coef})
+	}
+	p.AddConstraint("abs-", row2, lp.GE, cb-ca)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"afp/internal/netlist"
+)
+
+// Violation describes one legality defect of a floorplan.
+type Violation struct {
+	Kind   string // "overlap", "out-of-bounds", "dims", "area", "aspect", "envelope", "missing", "duplicate"
+	Module int    // design index of the offending module (-1 when pairwise)
+	Other  int    // second module for pairwise violations (-1 otherwise)
+	Detail string
+	Excess float64 // magnitude of the violation where meaningful
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Kind, v.Detail)
+}
+
+// Verify checks the floorplan for legality against its design and
+// returns every violation found (nil for a legal floorplan):
+//
+//   - every module placed exactly once;
+//   - no two envelopes overlap;
+//   - every envelope inside the chip W x H box;
+//   - every module inside its envelope;
+//   - rigid modules keep their dimensions (modulo rotation);
+//   - flexible modules conserve area and respect their aspect bounds.
+func (r *Result) Verify() []Violation {
+	const tol = 1e-6
+	var out []Violation
+	d := r.Design
+
+	seen := make(map[int]int)
+	for i, p := range r.Placements {
+		if p.Index < 0 || p.Index >= len(d.Modules) {
+			out = append(out, Violation{Kind: "missing", Module: p.Index, Other: -1,
+				Detail: fmt.Sprintf("placement %d references module %d outside the design", i, p.Index)})
+			continue
+		}
+		if prev, dup := seen[p.Index]; dup {
+			out = append(out, Violation{Kind: "duplicate", Module: p.Index, Other: -1,
+				Detail: fmt.Sprintf("module %d placed at positions %d and %d", p.Index, prev, i)})
+		}
+		seen[p.Index] = i
+	}
+	for mi := range d.Modules {
+		if _, ok := seen[mi]; !ok {
+			out = append(out, Violation{Kind: "missing", Module: mi, Other: -1,
+				Detail: fmt.Sprintf("module %q never placed", d.Modules[mi].Name)})
+		}
+	}
+
+	for i := range r.Placements {
+		for j := i + 1; j < len(r.Placements); j++ {
+			a, b := &r.Placements[i], &r.Placements[j]
+			if a.Env.Overlaps(b.Env) {
+				in, _ := a.Env.Intersect(b.Env)
+				out = append(out, Violation{Kind: "overlap", Module: a.Index, Other: b.Index,
+					Detail: fmt.Sprintf("envelopes of %d and %d overlap by area %.4g", a.Index, b.Index, in.Area()),
+					Excess: in.Area()})
+			}
+		}
+	}
+
+	for _, p := range r.Placements {
+		if p.Index < 0 || p.Index >= len(d.Modules) {
+			continue
+		}
+		m := &d.Modules[p.Index]
+		if p.Env.X < -tol || p.Env.Y < -tol || p.Env.X2() > r.ChipWidth+tol || p.Env.Y2() > r.Height+tol {
+			out = append(out, Violation{Kind: "out-of-bounds", Module: p.Index, Other: -1,
+				Detail: fmt.Sprintf("envelope %v outside chip %.4g x %.4g", p.Env, r.ChipWidth, r.Height)})
+		}
+		if !p.Env.ContainsRect(p.Mod) {
+			out = append(out, Violation{Kind: "envelope", Module: p.Index, Other: -1,
+				Detail: fmt.Sprintf("module box %v outside its envelope %v", p.Mod, p.Env)})
+		}
+		switch m.Kind {
+		case netlist.Rigid:
+			w, h := m.W, m.H
+			if p.Rotated {
+				w, h = h, w
+			}
+			if math.Abs(p.Mod.W-w) > tol || math.Abs(p.Mod.H-h) > tol {
+				out = append(out, Violation{Kind: "dims", Module: p.Index, Other: -1,
+					Detail: fmt.Sprintf("rigid %q placed %.4g x %.4g, expected %.4g x %.4g",
+						m.Name, p.Mod.W, p.Mod.H, w, h)})
+			}
+		case netlist.Flexible:
+			if diff := math.Abs(p.Mod.Area() - m.Area); diff > tol*(1+m.Area) {
+				out = append(out, Violation{Kind: "area", Module: p.Index, Other: -1,
+					Detail: fmt.Sprintf("flexible %q area %.6g, expected %.6g", m.Name, p.Mod.Area(), m.Area),
+					Excess: diff})
+			}
+			ar := p.Mod.W / p.Mod.H
+			if ar < m.MinAspect-tol || ar > m.MaxAspect+tol {
+				out = append(out, Violation{Kind: "aspect", Module: p.Index, Other: -1,
+					Detail: fmt.Sprintf("flexible %q aspect %.4g outside [%.4g, %.4g]",
+						m.Name, ar, m.MinAspect, m.MaxAspect)})
+			}
+		}
+	}
+	return out
+}

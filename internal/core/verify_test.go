@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"afp/internal/geom"
+	"afp/internal/milp"
+	"afp/internal/netlist"
+)
+
+func TestVerifyLegalFloorplan(t *testing.T) {
+	d := tinyDesign()
+	r, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2, PostOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Verify(); len(v) != 0 {
+		t.Fatalf("legal floorplan reported violations: %v", v)
+	}
+}
+
+func TestVerifyDetectsDefects(t *testing.T) {
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 2, H: 2},
+			{Name: "b", Kind: netlist.Rigid, W: 2, H: 2},
+			{Name: "f", Kind: netlist.Flexible, Area: 8, MinAspect: 0.5, MaxAspect: 2},
+		},
+	}
+	base := func() *Result {
+		return &Result{
+			Design:    d,
+			ChipWidth: 8,
+			Height:    4,
+			Placements: []Placement{
+				{Index: 0, Env: geom.NewRect(0, 0, 2, 2), Mod: geom.NewRect(0, 0, 2, 2)},
+				{Index: 1, Env: geom.NewRect(2, 0, 2, 2), Mod: geom.NewRect(2, 0, 2, 2)},
+				{Index: 2, Env: geom.NewRect(4, 0, 4, 2), Mod: geom.NewRect(4, 0, 4, 2)},
+			},
+		}
+	}
+	if v := base().Verify(); len(v) != 0 {
+		t.Fatalf("baseline should be legal: %v", v)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Result)
+		kind string
+	}{
+		{"overlap", func(r *Result) {
+			r.Placements[1].Env = geom.NewRect(1, 0, 2, 2)
+			r.Placements[1].Mod = r.Placements[1].Env
+		}, "overlap"},
+		{"out of bounds", func(r *Result) { r.Placements[0].Env = geom.NewRect(-1, 0, 2, 2) }, "out-of-bounds"},
+		{"above chip", func(r *Result) {
+			r.Placements[0].Env = geom.NewRect(0, 3, 2, 2)
+			r.Placements[0].Mod = r.Placements[0].Env
+		}, "out-of-bounds"},
+		{"module outside envelope", func(r *Result) { r.Placements[0].Mod = geom.NewRect(1, 0, 2, 2) }, "envelope"},
+		{"wrong rigid dims", func(r *Result) { r.Placements[0].Mod = geom.NewRect(0, 0, 1, 2) }, "dims"},
+		{"rotated dims ok", nil, ""},
+		{"flexible area", func(r *Result) { r.Placements[2].Mod = geom.NewRect(4, 0, 3, 2) }, "area"},
+		{"flexible aspect", func(r *Result) {
+			// 8 = 8 * 1 keeps the area but aspect 8 violates [0.5, 2].
+			r.Placements[2].Env = geom.NewRect(0, 2, 8, 1)
+			r.Placements[2].Mod = geom.NewRect(0, 2, 8, 1)
+		}, "aspect"},
+		{"missing module", func(r *Result) { r.Placements = r.Placements[:2] }, "missing"},
+		{"duplicate module", func(r *Result) { r.Placements[1].Index = 0; r.Placements[1].Env = geom.NewRect(2, 0, 2, 2) }, "duplicate"},
+	}
+	for _, tc := range cases {
+		if tc.mut == nil {
+			// Rotation control: swapping dims with Rotated set stays legal.
+			r := base()
+			r.Placements[0].Rotated = true
+			if v := r.Verify(); len(v) != 0 {
+				t.Errorf("%s: square rotation flagged: %v", tc.name, v)
+			}
+			continue
+		}
+		r := base()
+		tc.mut(r)
+		v := r.Verify()
+		found := false
+		for _, viol := range v {
+			if viol.Kind == tc.kind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected %q violation, got %v", tc.name, tc.kind, v)
+		}
+	}
+}
+
+func TestFloorplanExactSmall(t *testing.T) {
+	d := tinyDesign()
+	exact, err := FloorplanExact(d, Config{ChipWidth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := exact.Verify(); len(v) != 0 {
+		t.Fatalf("exact floorplan illegal: %v", v)
+	}
+	if exact.Steps[0].Status != milp.StatusOptimal {
+		t.Fatalf("exact status = %v", exact.Steps[0].Status)
+	}
+	// The exact optimum is no worse than successive augmentation.
+	aug, err := Floorplan(d, Config{ChipWidth: 6, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Height > aug.Height+1e-6 {
+		t.Fatalf("exact height %v worse than augmentation %v", exact.Height, aug.Height)
+	}
+}
+
+func TestFloorplanExactEmpty(t *testing.T) {
+	r, err := FloorplanExact(&netlist.Design{}, Config{ChipWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Placements) != 0 {
+		t.Fatal("empty design placed modules")
+	}
+}
+
+func TestFloorplanExactWithPostOptimize(t *testing.T) {
+	d := tinyDesign()
+	r, err := FloorplanExact(d, Config{ChipWidth: 6, PostOptimize: true, AdjustIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Verify(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}

@@ -1,0 +1,294 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// figure4Modules reproduces the six-module staircase partial floorplan of
+// Figure 4(a) in the paper: modules placed on the bottom line of the chip
+// or on top of other modules, forming a hole-free polygon with a flat
+// bottom.
+func figure4Modules() []Rect {
+	return []Rect{
+		NewRect(0, 0, 4, 3), // m1 on the chip bottom
+		NewRect(4, 0, 3, 5), // m2 on the chip bottom, taller
+		NewRect(7, 0, 5, 2), // m3 on the chip bottom, short and wide
+		NewRect(0, 3, 4, 4), // m4 on top of m1
+		NewRect(7, 2, 3, 4), // m5 on top of m3
+		NewRect(4, 5, 3, 3), // m6 on top of m2
+	}
+}
+
+func TestSkylineBasic(t *testing.T) {
+	sl := NewSkyline([]Rect{NewRect(0, 0, 2, 3), NewRect(2, 0, 2, 1)})
+	if got := sl.HeightAt(1); got != 3 {
+		t.Fatalf("HeightAt(1) = %v, want 3", got)
+	}
+	if got := sl.HeightAt(3); got != 1 {
+		t.Fatalf("HeightAt(3) = %v, want 1", got)
+	}
+	if got := sl.HeightAt(10); got != 0 {
+		t.Fatalf("HeightAt(10) = %v, want 0", got)
+	}
+	if got := sl.MaxHeight(); got != 3 {
+		t.Fatalf("MaxHeight = %v, want 3", got)
+	}
+	if got := sl.Area(); got != 8 {
+		t.Fatalf("Area = %v, want 8", got)
+	}
+}
+
+func TestSkylineMergesEqualHeights(t *testing.T) {
+	sl := NewSkyline([]Rect{NewRect(0, 0, 2, 2), NewRect(2, 0, 2, 2)})
+	if len(sl.H) != 1 {
+		t.Fatalf("expected single interval, got %d (%v)", len(sl.H), sl)
+	}
+	if sl.H[0] != 2 || sl.X[0] != 0 || sl.X[1] != 4 {
+		t.Fatalf("unexpected skyline %v", sl)
+	}
+}
+
+func TestSkylineIgnoresBottomHoles(t *testing.T) {
+	// Overhanging module: hole underneath must be absorbed, per Section 3.1.
+	sl := NewSkyline([]Rect{NewRect(0, 0, 2, 2), NewRect(0, 2, 4, 1)})
+	if got := sl.HeightAt(3); got != 3 {
+		t.Fatalf("HeightAt(3) = %v, want 3 (hole ignored)", got)
+	}
+	if got := sl.Area(); got != 12 {
+		t.Fatalf("Area = %v, want 12 (hole filled)", got)
+	}
+}
+
+func TestSkylineEmpty(t *testing.T) {
+	sl := NewSkyline(nil)
+	if len(sl.H) != 0 || sl.MaxHeight() != 0 || sl.Area() != 0 {
+		t.Fatalf("empty skyline not empty: %v", sl)
+	}
+	if out := sl.Outline(); out != nil {
+		t.Fatalf("empty outline = %v", out)
+	}
+}
+
+func TestCoveringRectanglesFigure4(t *testing.T) {
+	mods := figure4Modules()
+	covers := CoveringRectangles(mods)
+	// Figure 4(d) of the paper shows the six-module polygon covered by
+	// strictly fewer rectangles than modules. Our staircase decomposes into
+	// 4 covers; the corollary to Theorems 1-2 (N* <= N) must hold and the
+	// reduction must be strict for a multi-level staircase.
+	if len(covers) >= len(mods) {
+		t.Fatalf("N* = %d not below N = %d", len(covers), len(mods))
+	}
+	if len(covers) != 4 {
+		t.Errorf("expected 4 covering rectangles for this staircase, got %d: %v", len(covers), covers)
+	}
+	if err := CoverInvariants(mods, covers); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoveringRectanglesSingle(t *testing.T) {
+	m := []Rect{NewRect(1, 0, 3, 2)}
+	covers := CoveringRectangles(m)
+	if len(covers) != 1 || covers[0] != m[0] {
+		t.Fatalf("cover of single module = %v", covers)
+	}
+}
+
+func TestCoveringRectanglesFlat(t *testing.T) {
+	// A flat row of k equal-height modules must collapse to one cover.
+	m := []Rect{NewRect(0, 0, 1, 2), NewRect(1, 0, 2, 2), NewRect(3, 0, 1, 2)}
+	covers := CoveringRectangles(m)
+	if len(covers) != 1 {
+		t.Fatalf("flat row covers = %v, want 1 rect", covers)
+	}
+	if covers[0] != NewRect(0, 0, 4, 2) {
+		t.Fatalf("cover = %v", covers[0])
+	}
+}
+
+func TestCoveringRectanglesTower(t *testing.T) {
+	// A vertical stack must also collapse to one cover (mergeStacked).
+	m := []Rect{NewRect(0, 0, 2, 1), NewRect(0, 1, 2, 3), NewRect(0, 4, 2, 2)}
+	covers := CoveringRectangles(m)
+	if len(covers) != 1 || covers[0] != NewRect(0, 0, 2, 6) {
+		t.Fatalf("tower covers = %v", covers)
+	}
+}
+
+func TestCoveringRectanglesEmpty(t *testing.T) {
+	if c := CoveringRectangles(nil); c != nil {
+		t.Fatalf("covers of empty placement = %v", c)
+	}
+}
+
+func TestHorizontalEdgesTheorem1(t *testing.T) {
+	// Theorem 1: n <= N+1 for bottom-up placements.
+	mods := figure4Modules()
+	sl := NewSkyline(mods)
+	if n := sl.HorizontalEdges(); n > len(mods)+1 {
+		t.Fatalf("n = %d > N+1 = %d", n, len(mods)+1)
+	}
+}
+
+// randomStaircase builds a random bottom-up placement the way successive
+// augmentation does: every module sits either on the chip bottom or
+// directly on top of the current skyline, with no ground-level gaps.
+func randomStaircase(rng *rand.Rand, n int) []Rect {
+	var placed []Rect
+	x := 0.0
+	// First build a contiguous bottom row.
+	bottom := 1 + rng.Intn(n)
+	for i := 0; i < bottom; i++ {
+		w := 1 + float64(rng.Intn(5))
+		h := 1 + float64(rng.Intn(5))
+		placed = append(placed, NewRect(x, 0, w, h))
+		x += w
+	}
+	// Stack the remaining modules on top of random placed modules.
+	for i := bottom; i < n; i++ {
+		base := placed[rng.Intn(len(placed))]
+		sl := NewSkyline(placed)
+		y := sl.HeightAt(base.CenterX())
+		w := 1 + float64(rng.Intn(int(base.W)+1))
+		if w > base.W {
+			w = base.W
+		}
+		h := 1 + float64(rng.Intn(5))
+		placed = append(placed, NewRect(base.X, y, w, h))
+	}
+	return placed
+}
+
+// Property test for the corollary of Theorems 1-2: for bottom-up
+// staircase placements, the number of covering rectangles never exceeds
+// the number of modules, and the covering invariants hold.
+func TestCoveringRectanglesPropertyStaircase(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		mods := randomStaircase(rng, n)
+		covers := CoveringRectangles(mods)
+		if len(covers) > len(mods) {
+			t.Fatalf("trial %d: N* = %d > N = %d\nmods: %v\ncovers: %v",
+				trial, len(covers), len(mods), mods, covers)
+		}
+		if err := CoverInvariants(mods, covers); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sl := NewSkyline(mods)
+		if nEdges := sl.HorizontalEdges(); len(covers) > nEdges {
+			t.Fatalf("trial %d: N* = %d > n = %d violates Theorem 2 slack",
+				trial, len(covers), nEdges)
+		}
+	}
+}
+
+func TestCoveringRectanglesOverlapping(t *testing.T) {
+	mods := figure4Modules()
+	overlapping := CoveringRectanglesOverlapping(mods)
+	disjoint := CoveringRectangles(mods)
+	if len(overlapping) > len(disjoint) {
+		t.Fatalf("overlapping covers %d > disjoint %d", len(overlapping), len(disjoint))
+	}
+	// The union must equal the region under the skyline: same skyline.
+	slMods := NewSkyline(mods)
+	slCov := NewSkyline(overlapping)
+	if !almostEqTol(slMods.Area(), slCov.Area(), 1e-9) {
+		t.Fatalf("cover area %v != region area %v", slCov.Area(), slMods.Area())
+	}
+	if slMods.MaxHeight() != slCov.MaxHeight() {
+		t.Fatalf("cover height %v != region height %v", slCov.MaxHeight(), slMods.MaxHeight())
+	}
+	// Every cover stands on the chip bottom (the flat-bottom property the
+	// construction exploits).
+	for _, c := range overlapping {
+		if c.Y != 0 {
+			t.Fatalf("overlapping cover %v not grounded", c)
+		}
+	}
+}
+
+func TestCoveringRectanglesOverlappingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 200; trial++ {
+		mods := randomStaircase(rng, 1+rng.Intn(12))
+		overlapping := CoveringRectanglesOverlapping(mods)
+		disjoint := CoveringRectangles(mods)
+		if len(overlapping) > len(disjoint) {
+			t.Fatalf("trial %d: overlapping %d > disjoint %d", trial, len(overlapping), len(disjoint))
+		}
+		slMods := NewSkyline(mods)
+		slCov := NewSkyline(overlapping)
+		if !almostEqTol(slMods.Area(), slCov.Area(), 1e-6) {
+			t.Fatalf("trial %d: areas differ: %v vs %v", trial, slCov.Area(), slMods.Area())
+		}
+		// Every module point must be covered.
+		for _, m := range mods {
+			if !pointCovered(m.CenterX(), m.CenterY(), overlapping) {
+				t.Fatalf("trial %d: module %v center uncovered", trial, m)
+			}
+		}
+	}
+}
+
+func TestCoveringRectanglesOverlappingEmpty(t *testing.T) {
+	if c := CoveringRectanglesOverlapping(nil); c != nil {
+		t.Fatalf("covers of empty placement = %v", c)
+	}
+}
+
+// Property: covering preserves area under the skyline for arbitrary
+// (possibly overlapping) rectangle sets.
+func TestCoverAreaProperty(t *testing.T) {
+	f := func(seeds [6]uint8) bool {
+		var mods []Rect
+		for i, s := range seeds {
+			w := float64(s%7) + 1
+			h := float64((s/7)%7) + 1
+			x := float64(i) * 2
+			mods = append(mods, NewRect(x, 0, w, h))
+		}
+		covers := CoveringRectangles(mods)
+		sl := NewSkyline(mods)
+		return almostEqTol(TotalArea(covers), sl.Area(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutlineClosedAndRectilinear(t *testing.T) {
+	mods := figure4Modules()
+	sl := NewSkyline(mods)
+	pts := sl.Outline()
+	if len(pts) < 4 {
+		t.Fatalf("outline too short: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		dx := pts[i].X - pts[i-1].X
+		dy := pts[i].Y - pts[i-1].Y
+		if dx != 0 && dy != 0 {
+			t.Fatalf("outline segment %d not rectilinear: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Y != 0 || last.Y != 0 {
+		t.Fatalf("outline must start and end on the chip bottom: %v ... %v", first, last)
+	}
+}
+
+func TestCoverInvariantsDetectsViolations(t *testing.T) {
+	mods := []Rect{NewRect(0, 0, 4, 4)}
+	// Overlapping covers.
+	bad := []Rect{NewRect(0, 0, 3, 4), NewRect(2, 0, 2, 4)}
+	if err := CoverInvariants(mods, bad); err == nil {
+		t.Fatal("expected overlap violation")
+	}
+	// Missing area.
+	if err := CoverInvariants(mods, []Rect{NewRect(0, 0, 2, 4)}); err == nil {
+		t.Fatal("expected area violation")
+	}
+}

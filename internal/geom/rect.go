@@ -1,0 +1,197 @@
+// Package geom provides the geometric substrate for the analytical
+// floorplanner: axis-aligned rectangles, skyline profiles of partial
+// floorplans, and the covering-rectangle decomposition (horizontal
+// edge-cut partitioning) described in Section 3.1 and Figure 4 of
+// Sutanthavibul, Shragowitz and Rosen, DAC 1990.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the geometric comparison tolerance used throughout the package.
+// Coordinates are in abstract layout units; anything closer than Eps is
+// treated as coincident.
+const Eps = 1e-9
+
+// Rect is an axis-aligned rectangle identified by its lower-left corner
+// (X, Y) and its extent (W, H). The floorplanning formulation of the paper
+// positions every module by its lower-left corner, so the same convention
+// is used here.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// NewRect returns the rectangle with lower-left corner (x, y), width w and
+// height h.
+func NewRect(x, y, w, h float64) Rect { return Rect{X: x, Y: y, W: w, H: h} }
+
+// X2 returns the x-coordinate of the right edge.
+func (r Rect) X2() float64 { return r.X + r.W }
+
+// Y2 returns the y-coordinate of the top edge.
+func (r Rect) Y2() float64 { return r.Y + r.H }
+
+// Area returns the area of the rectangle.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// CenterX returns the x-coordinate of the rectangle's center.
+func (r Rect) CenterX() float64 { return r.X + r.W/2 }
+
+// CenterY returns the y-coordinate of the rectangle's center.
+func (r Rect) CenterY() float64 { return r.Y + r.H/2 }
+
+// Empty reports whether the rectangle has (numerically) zero area.
+func (r Rect) Empty() bool { return r.W < Eps || r.H < Eps }
+
+// Contains reports whether the point (x, y) lies inside or on the boundary
+// of the rectangle.
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X-Eps && x <= r.X2()+Eps && y >= r.Y-Eps && y <= r.Y2()+Eps
+}
+
+// ContainsRect reports whether s lies entirely inside r (boundaries may
+// touch).
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.X >= r.X-Eps && s.X2() <= r.X2()+Eps &&
+		s.Y >= r.Y-Eps && s.Y2() <= r.Y2()+Eps
+}
+
+// Overlaps reports whether r and s share interior area. Rectangles that
+// merely touch along an edge or corner do not overlap; this matches the
+// non-overlap constraints (2) of the paper, which permit abutting modules.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.X < s.X2()-Eps && s.X < r.X2()-Eps &&
+		r.Y < s.Y2()-Eps && s.Y < r.Y2()-Eps
+}
+
+// Intersect returns the intersection of r and s and whether it is
+// non-empty (has positive area).
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	x1 := math.Max(r.X, s.X)
+	y1 := math.Max(r.Y, s.Y)
+	x2 := math.Min(r.X2(), s.X2())
+	y2 := math.Min(r.Y2(), s.Y2())
+	if x2-x1 < Eps || y2-y1 < Eps {
+		return Rect{}, false
+	}
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}, true
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	x1 := math.Min(r.X, s.X)
+	y1 := math.Min(r.Y, s.Y)
+	x2 := math.Max(r.X2(), s.X2())
+	y2 := math.Max(r.Y2(), s.Y2())
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// Inflate returns the rectangle grown by dl, dr, db, dt on the left,
+// right, bottom and top sides respectively. It is used to build the
+// routing "envelopes" of Section 3.2: each side of a module is pushed out
+// proportionally to the number of pins on that side.
+func (r Rect) Inflate(dl, dr, db, dt float64) Rect {
+	return Rect{X: r.X - dl, Y: r.Y - db, W: r.W + dl + dr, H: r.H + db + dt}
+}
+
+// Translate returns the rectangle moved by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{X: r.X + dx, Y: r.Y + dy, W: r.W, H: r.H}
+}
+
+// Rotate90 returns the rectangle with width and height exchanged, keeping
+// the lower-left corner fixed. This models the 90-degree rotation of rigid
+// modules permitted by constraints (4)-(5) of the paper.
+func (r Rect) Rotate90() Rect {
+	return Rect{X: r.X, Y: r.Y, W: r.H, H: r.W}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3g,%.3g %.3gx%.3g]", r.X, r.Y, r.W, r.H)
+}
+
+// BoundingBox returns the smallest rectangle containing all rects. It
+// returns the zero Rect when rects is empty.
+func BoundingBox(rects []Rect) Rect {
+	if len(rects) == 0 {
+		return Rect{}
+	}
+	bb := rects[0]
+	for _, r := range rects[1:] {
+		bb = bb.Union(r)
+	}
+	return bb
+}
+
+// TotalArea returns the sum of the areas of rects. Overlapping area is
+// counted multiply; the floorplanner only calls this on non-overlapping
+// sets.
+func TotalArea(rects []Rect) float64 {
+	var s float64
+	for _, r := range rects {
+		s += r.Area()
+	}
+	return s
+}
+
+// UnionArea returns the exact area of the union of rects, counting
+// overlapping regions once. It uses coordinate compression over the
+// elementary grid, which is ample for the few dozen rectangles a partial
+// floorplan produces.
+func UnionArea(rects []Rect) float64 {
+	var xs, ys []float64
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		xs = append(xs, r.X, r.X2())
+		ys = append(ys, r.Y, r.Y2())
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	xs = dedupFloats(xs)
+	ys = dedupFloats(ys)
+	var area float64
+	for i := 0; i+1 < len(xs); i++ {
+		for j := 0; j+1 < len(ys); j++ {
+			cx := (xs[i] + xs[i+1]) / 2
+			cy := (ys[j] + ys[j+1]) / 2
+			for _, r := range rects {
+				if cx > r.X && cx < r.X2() && cy > r.Y && cy < r.Y2() {
+					area += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+					break
+				}
+			}
+		}
+	}
+	return area
+}
+
+// AnyOverlap reports whether any pair of rectangles in rects shares
+// interior area, and returns the indices of the first offending pair.
+func AnyOverlap(rects []Rect) (i, j int, ok bool) {
+	for a := range rects {
+		for b := a + 1; b < len(rects); b++ {
+			if rects[a].Overlaps(rects[b]) {
+				return a, b, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// almostEq reports whether a and b are within Eps of each other.
+func almostEq(a, b float64) bool { return math.Abs(a-b) < Eps }

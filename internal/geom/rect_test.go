@@ -1,0 +1,218 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectAccessors(t *testing.T) {
+	r := NewRect(1, 2, 3, 4)
+	if r.X2() != 4 || r.Y2() != 6 {
+		t.Fatalf("X2/Y2 = %v/%v, want 4/6", r.X2(), r.Y2())
+	}
+	if r.Area() != 12 {
+		t.Fatalf("Area = %v, want 12", r.Area())
+	}
+	if r.CenterX() != 2.5 || r.CenterY() != 4 {
+		t.Fatalf("center = (%v,%v), want (2.5,4)", r.CenterX(), r.CenterY())
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	if !(Rect{}).Empty() {
+		t.Fatal("zero rect should be empty")
+	}
+	if NewRect(0, 0, 1, 0).Empty() == false {
+		t.Fatal("zero-height rect should be empty")
+	}
+	if NewRect(0, 0, 1, 1).Empty() {
+		t.Fatal("unit rect should not be empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 5)
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{5, 2, true},
+		{0, 0, true},  // corner on boundary
+		{10, 5, true}, // opposite corner
+		{10.1, 5, false},
+		{-1, 2, false},
+		{5, 6, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.x, c.y); got != c.want {
+			t.Errorf("Contains(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := NewRect(0, 0, 4, 4)
+	if !a.Overlaps(NewRect(2, 2, 4, 4)) {
+		t.Error("expected overlap for intersecting rects")
+	}
+	if a.Overlaps(NewRect(4, 0, 4, 4)) {
+		t.Error("abutting rects must not count as overlapping")
+	}
+	if a.Overlaps(NewRect(4, 4, 1, 1)) {
+		t.Error("corner-touching rects must not count as overlapping")
+	}
+	if a.Overlaps(NewRect(10, 10, 1, 1)) {
+		t.Error("disjoint rects must not overlap")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 4, 4)
+	got, ok := a.Intersect(NewRect(2, 1, 4, 4))
+	if !ok {
+		t.Fatal("expected non-empty intersection")
+	}
+	want := NewRect(2, 1, 2, 3)
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if _, ok := a.Intersect(NewRect(4, 0, 1, 1)); ok {
+		t.Fatal("edge-touching rects must have empty intersection")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(0, 0, 1, 1)
+	b := NewRect(3, 4, 1, 2)
+	u := a.Union(b)
+	want := NewRect(0, 0, 4, 6)
+	if u != want {
+		t.Fatalf("Union = %v, want %v", u, want)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Fatalf("union with empty = %v, want %v", got, b)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Fatalf("union with empty = %v, want %v", got, a)
+	}
+}
+
+func TestRectInflateRotateTranslate(t *testing.T) {
+	r := NewRect(2, 3, 4, 5)
+	in := r.Inflate(1, 2, 3, 4)
+	want := NewRect(1, 0, 7, 12)
+	if in != want {
+		t.Fatalf("Inflate = %v, want %v", in, want)
+	}
+	if rot := r.Rotate90(); rot != NewRect(2, 3, 5, 4) {
+		t.Fatalf("Rotate90 = %v", rot)
+	}
+	if tr := r.Translate(-2, -3); tr != NewRect(0, 0, 4, 5) {
+		t.Fatalf("Translate = %v", tr)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if bb := BoundingBox(nil); bb != (Rect{}) {
+		t.Fatalf("empty bounding box = %v", bb)
+	}
+	bb := BoundingBox([]Rect{NewRect(1, 1, 2, 2), NewRect(0, 4, 1, 1), NewRect(5, 0, 1, 3)})
+	if bb != NewRect(0, 0, 6, 5) {
+		t.Fatalf("BoundingBox = %v", bb)
+	}
+}
+
+func TestAnyOverlap(t *testing.T) {
+	rs := []Rect{NewRect(0, 0, 2, 2), NewRect(2, 0, 2, 2), NewRect(1, 1, 2, 2)}
+	i, j, ok := AnyOverlap(rs)
+	if !ok || i != 0 || j != 2 {
+		t.Fatalf("AnyOverlap = %d,%d,%v; want 0,2,true", i, j, ok)
+	}
+	if _, _, ok := AnyOverlap(rs[:2]); ok {
+		t.Fatal("abutting rects reported as overlapping")
+	}
+}
+
+func TestUnionArea(t *testing.T) {
+	if a := UnionArea(nil); a != 0 {
+		t.Fatalf("empty union area = %v", a)
+	}
+	// Two overlapping 4x4 squares offset by 2: union = 16+16-4 = 28.
+	a := UnionArea([]Rect{NewRect(0, 0, 4, 4), NewRect(2, 2, 4, 4)})
+	if math.Abs(a-28) > 1e-9 {
+		t.Fatalf("union area = %v, want 28", a)
+	}
+	// Disjoint: sums.
+	a = UnionArea([]Rect{NewRect(0, 0, 2, 2), NewRect(5, 5, 3, 1)})
+	if math.Abs(a-7) > 1e-9 {
+		t.Fatalf("disjoint union area = %v, want 7", a)
+	}
+	// Nested: inner disappears.
+	a = UnionArea([]Rect{NewRect(0, 0, 10, 10), NewRect(2, 2, 3, 3)})
+	if math.Abs(a-100) > 1e-9 {
+		t.Fatalf("nested union area = %v, want 100", a)
+	}
+}
+
+// Property: UnionArea between max single area and sum of areas; equals
+// skyline area for grounded rectangles.
+func TestUnionAreaProperties(t *testing.T) {
+	f := func(seeds [5]uint8) bool {
+		var rects []Rect
+		for i, s := range seeds {
+			rects = append(rects, NewRect(float64(s%9), 0, float64(s%5)+1, float64(s%7)+1))
+			_ = i
+		}
+		ua := UnionArea(rects)
+		var maxA, sum float64
+		for _, r := range rects {
+			sum += r.Area()
+			if r.Area() > maxA {
+				maxA = r.Area()
+			}
+		}
+		if ua < maxA-1e-9 || ua > sum+1e-9 {
+			return false
+		}
+		// All rects grounded at y=0: union = region under skyline.
+		return math.Abs(ua-NewSkyline(rects).Area()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and contains both operands.
+func TestUnionProperties(t *testing.T) {
+	f := func(ax, ay, bx, by uint8, aw, ah, bw, bh uint8) bool {
+		a := NewRect(float64(ax), float64(ay), float64(aw)+1, float64(ah)+1)
+		b := NewRect(float64(bx), float64(by), float64(bw)+1, float64(bh)+1)
+		u1, u2 := a.Union(b), b.Union(a)
+		return u1 == u2 && u1.ContainsRect(a) && u1.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: intersection area <= min area, and Overlaps agrees with
+// Intersect having positive area.
+func TestIntersectProperties(t *testing.T) {
+	f := func(ax, ay, bx, by uint8, aw, ah, bw, bh uint8) bool {
+		a := NewRect(float64(ax), float64(ay), float64(aw)+1, float64(ah)+1)
+		b := NewRect(float64(bx), float64(by), float64(bw)+1, float64(bh)+1)
+		in, ok := a.Intersect(b)
+		if ok != a.Overlaps(b) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return in.Area() <= math.Min(a.Area(), b.Area())+Eps &&
+			a.ContainsRect(in) && b.ContainsRect(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package geom
+
+import "sort"
+
+// Skyline is the upper profile of a partial floorplan: a piecewise-constant
+// function y = height(x) over [X[0], X[len(X)-1]]. X holds the breakpoints
+// in strictly increasing order and H[i] is the height over the interval
+// [X[i], X[i+1]); len(H) == len(X)-1.
+//
+// The partial floorplans produced by successive augmentation always have a
+// flat bottom at y = 0 and grow only from the top (the "open side of the
+// chip"), so the region below the skyline — with holes ignored, as in
+// Section 3.1 of the paper — fully describes the placed area.
+type Skyline struct {
+	X []float64
+	H []float64
+}
+
+// NewSkyline computes the skyline of a set of placed rectangles. The height
+// over a point x is the maximum top edge among rectangles whose x-extent
+// covers x; holes underneath overhanging modules are ignored, exactly as
+// the covering-polygon construction of the paper ignores holes at the
+// bottom of the polygon.
+func NewSkyline(rects []Rect) Skyline {
+	if len(rects) == 0 {
+		return Skyline{}
+	}
+	// Coordinate-compress all vertical edges.
+	xs := make([]float64, 0, 2*len(rects))
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		xs = append(xs, r.X, r.X2())
+	}
+	if len(xs) == 0 {
+		return Skyline{}
+	}
+	sort.Float64s(xs)
+	xs = dedupFloats(xs)
+
+	h := make([]float64, len(xs)-1)
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		for i := 0; i+1 < len(xs); i++ {
+			mid := (xs[i] + xs[i+1]) / 2
+			if mid > r.X && mid < r.X2() && r.Y2() > h[i] {
+				h[i] = r.Y2()
+			}
+		}
+	}
+	sl := Skyline{X: xs, H: h}
+	sl.compact()
+	return sl
+}
+
+// compact merges adjacent intervals with equal height.
+func (s *Skyline) compact() {
+	if len(s.H) == 0 {
+		return
+	}
+	nx := s.X[:1]
+	var nh []float64
+	for i := range s.H {
+		if len(nh) > 0 && almostEq(nh[len(nh)-1], s.H[i]) {
+			nx[len(nx)-1] = s.X[i+1]
+			continue
+		}
+		nh = append(nh, s.H[i])
+		nx = append(nx, s.X[i+1])
+	}
+	s.X, s.H = nx, nh
+}
+
+// HeightAt returns the skyline height at x. Points outside the profile
+// extent have height 0.
+func (s Skyline) HeightAt(x float64) float64 {
+	for i := range s.H {
+		if x >= s.X[i]-Eps && x < s.X[i+1]-Eps {
+			return s.H[i]
+		}
+	}
+	return 0
+}
+
+// MaxHeight returns the maximum height of the skyline (the height of the
+// partial floorplan).
+func (s Skyline) MaxHeight() float64 {
+	var m float64
+	for _, h := range s.H {
+		if h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// Area returns the area under the skyline, i.e. the area of the covering
+// polygon with bottom holes filled.
+func (s Skyline) Area() float64 {
+	var a float64
+	for i, h := range s.H {
+		a += h * (s.X[i+1] - s.X[i])
+	}
+	return a
+}
+
+// HorizontalEdges returns the number of maximal horizontal edges of the
+// covering polygon, counting the (possibly multi-segment) bottom edge(s)
+// at y = 0. Theorem 1 of the paper bounds this by N+1 for N modules placed
+// bottom-up without floating gaps.
+func (s Skyline) HorizontalEdges() int {
+	n := 0
+	for _, h := range s.H {
+		if h > Eps {
+			n++ // one top edge per maximal constant-height run
+		}
+	}
+	// Bottom edges: one per maximal run of positive height.
+	inRun := false
+	for _, h := range s.H {
+		if h > Eps && !inRun {
+			n++
+			inRun = true
+		} else if h <= Eps {
+			inRun = false
+		}
+	}
+	return n
+}
+
+// Outline returns the rectilinear outline of the region under the skyline
+// as a closed polyline (first point repeated at the end), traversed
+// counter-clockwise starting from the leftmost bottom corner of the first
+// positive-height run. Zero-height gaps split the region; only the outline
+// of the first connected component is returned, which suffices for the
+// rendering of Figures 4-6 where the partial floorplan is connected.
+func (s Skyline) Outline() []Point {
+	// Find first positive run.
+	start := -1
+	for i, h := range s.H {
+		if h > Eps {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	end := start
+	for end < len(s.H) && s.H[end] > Eps {
+		end++
+	}
+	pts := []Point{{s.X[start], 0}}
+	// Bottom edge left-to-right.
+	pts = append(pts, Point{s.X[end], 0})
+	// Right side and top, right-to-left.
+	for i := end - 1; i >= start; i-- {
+		p := pts[len(pts)-1]
+		if !almostEq(p.Y, s.H[i]) {
+			pts = append(pts, Point{p.X, s.H[i]})
+		}
+		pts = append(pts, Point{s.X[i], s.H[i]})
+	}
+	// Close down the left side.
+	last := pts[len(pts)-1]
+	if !almostEq(last.Y, 0) {
+		pts = append(pts, Point{last.X, 0})
+	}
+	return pts
+}
+
+// Point is a 2-D point.
+type Point struct {
+	X, Y float64
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if !almostEq(out[len(out)-1], x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

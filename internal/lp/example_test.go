@@ -1,0 +1,56 @@
+package lp_test
+
+import (
+	"fmt"
+	"math"
+
+	"afp/internal/lp"
+)
+
+// ExampleProblem_Solve solves a small production-planning LP and reads
+// the primal solution plus the constraint duals.
+func ExampleProblem_Solve() {
+	p := lp.NewProblem()
+	p.SetMaximize(true)
+	x := p.AddVariable("x", 0, math.Inf(1), 3)
+	y := p.AddVariable("y", 0, math.Inf(1), 5)
+	p.AddConstraint("m1", []lp.Term{{Var: x, Coef: 1}}, lp.LE, 4)
+	p.AddConstraint("m2", []lp.Term{{Var: y, Coef: 2}}, lp.LE, 12)
+	p.AddConstraint("m3", []lp.Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, lp.LE, 18)
+
+	sol, err := p.Solve()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("status %v, objective %g at (%g, %g)\n",
+		sol.Status, sol.Objective, sol.Value(x), sol.Value(y))
+	fmt.Printf("shadow prices: %.1f %.1f %.1f\n", sol.Duals[0], sol.Duals[1], sol.Duals[2])
+	// Output:
+	// status optimal, objective 36 at (2, 6)
+	// shadow prices: 0.0 1.5 1.0
+}
+
+// ExampleIncremental shows warm-started re-solves after bound changes —
+// the branch-and-bound use case.
+func ExampleIncremental() {
+	p := lp.NewProblem()
+	x := p.AddVariable("x", 0, 5, -1) // maximize x via minimize -x
+	y := p.AddVariable("y", 0, 5, -1)
+	p.AddConstraint("cap", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.LE, 7)
+
+	inc, err := lp.NewIncremental(p, lp.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sol, _ := inc.Solve()
+	fmt.Printf("free: %g\n", sol.Objective)
+
+	inc.SetBounds(x, 0, 1) // branch: x <= 1
+	sol, _ = inc.Solve()
+	fmt.Printf("x<=1: %g\n", sol.Objective)
+	// Output:
+	// free: -7
+	// x<=1: -6
+}

@@ -1,0 +1,400 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Incremental is a warm-startable LP solver for box-bounded problems. It
+// keeps the simplex tableau alive between solves so that after variable
+// bound changes — the only modification branch and bound ever makes — the
+// previous optimal basis stays dual feasible and a handful of dual
+// simplex pivots restore primal feasibility, instead of a full two-phase
+// cold solve per node.
+//
+// Requirements: every variable with a negative objective coefficient (in
+// minimize sense) must have a finite upper bound, and every variable with
+// a non-negative coefficient a finite lower bound, so that a dual-feasible
+// nonbasic point exists. Floorplanning subproblems satisfy this trivially
+// (all variables live in finite boxes). NewIncremental returns
+// ErrUnboundedColumn otherwise; callers fall back to Problem.SolveOpts.
+type Incremental struct {
+	p *Problem
+
+	m, n    int // rows, structural columns
+	ncols   int // n + m slacks
+	sign    float64
+	cost    []float64 // minimize-sense objective, structural prefix
+	lb, ub  []float64 // per column (structural + slack)
+	rowRHS  []float64
+	origRow [][]Term // retained for rebuilds
+
+	T     [][]float64 // m x ncols current B^{-1}A
+	beta  []float64   // basic variable values
+	basis []int
+	state []varState
+	val   []float64 // current value of every nonbasic column
+	zrow  []float64
+
+	iter       int
+	solves     int
+	maxIter    int
+	blandLeft  int
+	degenCount int
+}
+
+// ErrUnboundedColumn reports that no dual-feasible starting point exists
+// because a favorable column has no finite bound to rest on.
+var ErrUnboundedColumn = fmt.Errorf("lp: incremental solver requires finite bounds on improving columns")
+
+// NewIncremental builds an incremental solver over a snapshot of p's
+// constraints and current bounds. Later bound changes are applied through
+// SetBounds, not through p.
+func NewIncremental(p *Problem, opt Options) (*Incremental, error) {
+	if len(p.names) == 0 {
+		return nil, ErrBadModel
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter
+	}
+	n := len(p.names)
+	m := len(p.rows)
+	inc := &Incremental{
+		p: p, m: m, n: n, ncols: n + m, sign: 1,
+		maxIter: maxIter,
+	}
+	if p.maximize {
+		inc.sign = -1
+	}
+	inc.cost = make([]float64, inc.ncols)
+	inc.lb = make([]float64, inc.ncols)
+	inc.ub = make([]float64, inc.ncols)
+	for j := 0; j < n; j++ {
+		inc.cost[j] = inc.sign * p.obj[j]
+		inc.lb[j] = p.lo[j]
+		inc.ub[j] = p.hi[j]
+	}
+	// One slack per row: a.x + s = rhs with the slack range encoding the
+	// relation.
+	inc.rowRHS = make([]float64, m)
+	inc.origRow = make([][]Term, m)
+	for i := 0; i < m; i++ {
+		inc.rowRHS[i] = p.rhs[i]
+		inc.origRow[i] = append([]Term(nil), p.rows[i]...)
+		sj := n + i
+		switch p.ops[i] {
+		case LE:
+			inc.lb[sj], inc.ub[sj] = 0, math.Inf(1)
+		case GE:
+			inc.lb[sj], inc.ub[sj] = math.Inf(-1), 0
+		default:
+			inc.lb[sj], inc.ub[sj] = 0, 0
+		}
+	}
+	if err := inc.rebuild(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// rebuild constructs the tableau from scratch with the all-slack basis
+// and dual-feasible nonbasic states.
+func (inc *Incremental) rebuild() error {
+	inc.T = make([][]float64, inc.m)
+	for i := 0; i < inc.m; i++ {
+		row := make([]float64, inc.ncols)
+		for _, t := range inc.origRow[i] {
+			row[t.Var] += t.Coef
+		}
+		row[inc.n+i] = 1
+		inc.T[i] = row
+	}
+	inc.basis = make([]int, inc.m)
+	inc.state = make([]varState, inc.ncols)
+	inc.val = make([]float64, inc.ncols)
+	inc.zrow = append([]float64(nil), inc.cost...)
+
+	for j := 0; j < inc.ncols; j++ {
+		if err := inc.restNonbasic(j); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < inc.m; i++ {
+		sj := inc.n + i
+		inc.basis[i] = sj
+		inc.state[sj] = inBasis
+	}
+	inc.recomputeBeta()
+	return nil
+}
+
+// restNonbasic places column j on a dual-feasible finite bound.
+func (inc *Incremental) restNonbasic(j int) error {
+	c := inc.cost[j]
+	switch {
+	case c >= 0 && !math.IsInf(inc.lb[j], -1):
+		inc.state[j] = atLower
+		inc.val[j] = inc.lb[j]
+	case c <= 0 && !math.IsInf(inc.ub[j], 1):
+		inc.state[j] = atUpper
+		inc.val[j] = inc.ub[j]
+	case !math.IsInf(inc.lb[j], -1):
+		// c < 0 but only the lower bound is finite: dual infeasible start.
+		return ErrUnboundedColumn
+	case !math.IsInf(inc.ub[j], 1):
+		return ErrUnboundedColumn
+	default:
+		return ErrUnboundedColumn
+	}
+	return nil
+}
+
+// recomputeBeta refreshes the basic values from the nonbasic point.
+// Valid only immediately after rebuild, when T rows are original rows.
+func (inc *Incremental) recomputeBeta() {
+	inc.beta = make([]float64, inc.m)
+	for i := 0; i < inc.m; i++ {
+		v := inc.rowRHS[i]
+		for j := 0; j < inc.ncols; j++ {
+			if inc.state[j] != inBasis && inc.T[i][j] != 0 {
+				v -= inc.T[i][j] * inc.val[j]
+			}
+		}
+		inc.beta[i] = v
+	}
+}
+
+// SetBounds changes the bounds of structural variable v. Nonbasic
+// variables resting on a moved bound are shifted (updating the basic
+// values); basic variables simply acquire the new box and are repaired by
+// the next Solve.
+func (inc *Incremental) SetBounds(v VarID, lo, hi float64) {
+	j := int(v)
+	if math.IsInf(lo, 0) || hi < lo {
+		panic(fmt.Sprintf("lp: invalid incremental bounds [%v, %v]", lo, hi))
+	}
+	inc.lb[j], inc.ub[j] = lo, hi
+	if inc.state[j] == inBasis {
+		return
+	}
+	// Re-rest the nonbasic variable inside the new box, preferring the
+	// bound it already sits on to minimize perturbation.
+	newVal := inc.val[j]
+	switch inc.state[j] {
+	case atLower:
+		newVal = lo
+	case atUpper:
+		if math.IsInf(hi, 1) {
+			inc.state[j] = atLower
+			newVal = lo
+		} else {
+			newVal = hi
+		}
+	}
+	if delta := newVal - inc.val[j]; delta != 0 {
+		for i := 0; i < inc.m; i++ {
+			if a := inc.T[i][j]; a != 0 {
+				inc.beta[i] -= a * delta
+			}
+		}
+		inc.val[j] = newVal
+	}
+}
+
+// Solve restores primal feasibility by dual simplex pivots and returns
+// the optimum. The returned solution shares no state with the solver.
+func (inc *Incremental) Solve() (*Solution, error) {
+	inc.solves++
+	// Periodic full rebuild bounds numerical drift from long pivot chains.
+	if inc.solves%256 == 0 {
+		if err := inc.rebuild(); err != nil {
+			return nil, err
+		}
+	}
+	iterStart := inc.iter
+	st := inc.dualSimplex()
+	sol := &Solution{Status: st, Iterations: inc.iter - iterStart}
+	if st == StatusOptimal || st == StatusIterLimit {
+		x := make([]float64, inc.n)
+		for j := 0; j < inc.n; j++ {
+			if inc.state[j] == inBasis {
+				continue
+			}
+			x[j] = inc.val[j]
+		}
+		for i, b := range inc.basis {
+			if b < inc.n {
+				x[b] = inc.beta[i]
+			}
+		}
+		obj := 0.0
+		for j := 0; j < inc.n; j++ {
+			obj += inc.p.obj[j] * x[j]
+		}
+		sol.X = x
+		sol.Objective = obj
+	}
+	return sol, nil
+}
+
+// dualSimplex pivots until the basic values return inside their boxes.
+func (inc *Incremental) dualSimplex() Status {
+	iterStart := inc.iter
+	for {
+		if inc.iter-iterStart >= inc.maxIter {
+			return StatusIterLimit
+		}
+		// Leaving choice: most violated basic.
+		leave := -1
+		var viol float64
+		var needIncrease bool
+		for i := 0; i < inc.m; i++ {
+			b := inc.basis[i]
+			if d := inc.lb[b] - inc.beta[i]; d > viol+zeroTol {
+				viol, leave, needIncrease = d, i, true
+			}
+			if d := inc.beta[i] - inc.ub[b]; d > viol+zeroTol {
+				viol, leave, needIncrease = d, i, false
+			}
+		}
+		if leave < 0 {
+			return StatusOptimal
+		}
+		if !inc.dualPivot(leave, needIncrease) {
+			return StatusInfeasible
+		}
+		inc.iter++
+	}
+}
+
+// dualPivot performs one dual simplex pivot on the given row. When the
+// basic variable must increase (below its lower bound), an entering
+// nonbasic is sought that can push it up while keeping dual feasibility;
+// symmetric for decrease. Returns false when no entering column exists —
+// the primal is infeasible.
+func (inc *Incremental) dualPivot(r int, needIncrease bool) bool {
+	row := inc.T[r]
+	bland := inc.blandLeft > 0
+	enter := -1
+	bestRatio := math.Inf(1)
+	bestAbs := 0.0
+	for j := 0; j < inc.ncols; j++ {
+		if inc.state[j] == inBasis {
+			continue
+		}
+		a := row[j]
+		if a == 0 {
+			continue
+		}
+		var ok bool
+		var ratio float64
+		if needIncrease {
+			// Basic increases when an at-lower variable with a<0 rises, or an
+			// at-upper variable with a>0 falls.
+			if inc.state[j] == atLower && a < -pivTol {
+				ok, ratio = true, inc.zrow[j]/(-a)
+			} else if inc.state[j] == atUpper && a > pivTol {
+				ok, ratio = true, (-inc.zrow[j])/a
+			}
+		} else {
+			if inc.state[j] == atLower && a > pivTol {
+				ok, ratio = true, inc.zrow[j]/a
+			} else if inc.state[j] == atUpper && a < -pivTol {
+				ok, ratio = true, (-inc.zrow[j])/(-a)
+			}
+		}
+		if !ok {
+			continue
+		}
+		if ratio < -1e-7 {
+			// Numerical dual infeasibility; treat as zero ratio.
+			ratio = 0
+		}
+		take := false
+		switch {
+		case bland:
+			take = enter < 0 || j < enter
+		case ratio < bestRatio-zeroTol:
+			take = true
+		case ratio <= bestRatio+zeroTol && math.Abs(a) > bestAbs:
+			take = true
+		}
+		if take {
+			enter, bestRatio, bestAbs = j, ratio, math.Abs(a)
+		}
+	}
+	if enter < 0 {
+		return false
+	}
+	if bestRatio < zeroTol {
+		inc.degenCount++
+		if inc.degenCount > 200 && inc.blandLeft == 0 {
+			inc.blandLeft = 500
+		}
+	} else {
+		inc.degenCount = 0
+		if inc.blandLeft > 0 {
+			inc.blandLeft--
+		}
+	}
+
+	b := inc.basis[r]
+	var target float64
+	if needIncrease {
+		target = inc.lb[b]
+	} else {
+		target = inc.ub[b]
+	}
+	aE := row[enter]
+	deltaE := (inc.beta[r] - target) / aE
+
+	// Move the entering variable; all other basics adjust.
+	for i := 0; i < inc.m; i++ {
+		if i != r {
+			if a := inc.T[i][enter]; a != 0 {
+				inc.beta[i] -= a * deltaE
+			}
+		}
+	}
+	enterVal := inc.val[enter] + deltaE
+
+	// Leaving variable rests on the violated bound.
+	if needIncrease {
+		inc.state[b] = atLower
+		inc.val[b] = inc.lb[b]
+	} else {
+		inc.state[b] = atUpper
+		inc.val[b] = inc.ub[b]
+	}
+	inc.state[enter] = inBasis
+	inc.basis[r] = enter
+	inc.beta[r] = enterVal
+
+	// Gaussian pivot.
+	invA := 1 / aE
+	for j := 0; j < inc.ncols; j++ {
+		row[j] *= invA
+	}
+	for i := 0; i < inc.m; i++ {
+		if i == r {
+			continue
+		}
+		f := inc.T[i][enter]
+		if f == 0 {
+			continue
+		}
+		ti := inc.T[i]
+		for j := 0; j < inc.ncols; j++ {
+			ti[j] -= f * row[j]
+		}
+		ti[enter] = 0
+	}
+	if f := inc.zrow[enter]; f != 0 {
+		for j := 0; j < inc.ncols; j++ {
+			inc.zrow[j] -= f * row[j]
+		}
+		inc.zrow[enter] = 0
+	}
+	return true
+}

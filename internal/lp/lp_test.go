@@ -1,0 +1,396 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func requireStatus(t *testing.T, sol *Solution, want Status) {
+	t.Helper()
+	if sol.Status != want {
+		t.Fatalf("status = %v, want %v (sol=%+v)", sol.Status, want, sol)
+	}
+}
+
+func almostEq(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+// Classic 2-variable LP with a known optimum.
+// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+// Optimum (2, 6) with objective 36.
+func TestSolveTextbookMax(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 3)
+	y := p.AddVariable("y", 0, math.Inf(1), 5)
+	p.SetMaximize(true)
+	p.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	p.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	p.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Objective, 36, 1e-7, "objective")
+	almostEq(t, sol.Value(x), 2, 1e-7, "x")
+	almostEq(t, sol.Value(y), 6, 1e-7, "y")
+}
+
+// Minimization needing phase 1 (>= constraints).
+// min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3. Optimum x=7, y=3, obj 23.
+func TestSolvePhase1Min(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 2, math.Inf(1), 2)
+	y := p.AddVariable("y", 3, math.Inf(1), 3)
+	p.AddConstraint("cover", []Term{{x, 1}, {y, 1}}, GE, 10)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Objective, 23, 1e-7, "objective")
+	almostEq(t, sol.Value(x), 7, 1e-7, "x")
+	almostEq(t, sol.Value(y), 3, 1e-7, "y")
+}
+
+func TestSolveEqualityConstraints(t *testing.T) {
+	// min x + 2y + 3z s.t. x+y+z = 6, y - z = 1, all in [0, 10].
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10, 1)
+	y := p.AddVariable("y", 0, 10, 2)
+	z := p.AddVariable("z", 0, 10, 3)
+	p.AddConstraint("sum", []Term{{x, 1}, {y, 1}, {z, 1}}, EQ, 6)
+	p.AddConstraint("diff", []Term{{y, 1}, {z, -1}}, EQ, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	// Best: make x as large as possible: x=5, y=1, z=0 -> obj 7? Check
+	// y - z = 1 with z=0 -> y=1, x=5. obj = 5+2+0 = 7.
+	almostEq(t, sol.Objective, 7, 1e-7, "objective")
+	if v := p.MaxViolation(sol.X); v > 1e-7 {
+		t.Fatalf("solution violates constraints by %v", v)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 5, 1)
+	p.AddConstraint("lo", []Term{{x, 1}}, GE, 10)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusInfeasible)
+}
+
+func TestSolveInfeasibleContradiction(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 1)
+	p.AddConstraint("a", []Term{{x, 1}, {y, 1}}, LE, 1)
+	p.AddConstraint("b", []Term{{x, 1}, {y, 1}}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusInfeasible)
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), -1)  // min -x, x free upward
+	p.AddConstraint("c", []Term{{x, -1}}, LE, 0) // -x <= 0, always true
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusUnbounded)
+}
+
+func TestSolveBoundedByUpperBounds(t *testing.T) {
+	// Same as unbounded case but with a finite upper bound: the solver must
+	// use a bound flip rather than declaring unboundedness.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 7, -1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Value(x), 7, 1e-9, "x")
+	almostEq(t, sol.Objective, -7, 1e-9, "objective")
+}
+
+func TestSolveNegativeLowerBounds(t *testing.T) {
+	// min x + y with x in [-5, 5], y in [-3, 8], x + y >= -2.
+	p := NewProblem()
+	x := p.AddVariable("x", -5, 5, 1)
+	y := p.AddVariable("y", -3, 8, 1)
+	p.AddConstraint("c", []Term{{x, 1}, {y, 1}}, GE, -2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Objective, -2, 1e-7, "objective")
+	if v := p.MaxViolation(sol.X); v > 1e-7 {
+		t.Fatalf("violation %v", v)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Beale's classic cycling example: highly degenerate; Dantzig pricing
+	// without anti-cycling can loop forever. Known optimum is -0.05.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), -0.75)
+	y := p.AddVariable("y", 0, math.Inf(1), 150)
+	z := p.AddVariable("z", 0, math.Inf(1), -0.02)
+	w := p.AddVariable("w", 0, math.Inf(1), 6)
+	p.AddConstraint("r1", []Term{{x, 0.25}, {y, -60}, {z, -0.04}, {w, 9}}, LE, 0)
+	p.AddConstraint("r2", []Term{{x, 0.5}, {y, -90}, {z, -0.02}, {w, 3}}, LE, 0)
+	p.AddConstraint("r3", []Term{{z, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Objective, -0.05, 1e-6, "objective")
+}
+
+func TestSolveRedundantEqualities(t *testing.T) {
+	// Duplicate equality rows produce a redundant row whose artificial
+	// stays basic at zero; the solve must still succeed.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10, 1)
+	y := p.AddVariable("y", 0, 10, 1)
+	p.AddConstraint("e1", []Term{{x, 1}, {y, 1}}, EQ, 4)
+	p.AddConstraint("e2", []Term{{x, 2}, {y, 2}}, EQ, 8) // same hyperplane
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Objective, 4, 1e-7, "objective")
+}
+
+func TestSolveFixedVariable(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 3, 3, 5) // fixed at 3
+	y := p.AddVariable("y", 0, 10, 1)
+	p.AddConstraint("c", []Term{{x, 1}, {y, 1}}, GE, 5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Value(x), 3, 1e-9, "x")
+	almostEq(t, sol.Value(y), 2, 1e-7, "y")
+	almostEq(t, sol.Objective, 17, 1e-7, "objective")
+}
+
+func TestSolveDuplicateTermsAccumulate(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	// x + x <= 6 must behave as 2x <= 6.
+	p.AddConstraint("c", []Term{{x, 1}, {x, 1}}, GE, 6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Value(x), 3, 1e-7, "x")
+}
+
+func TestSolveEmptyProblem(t *testing.T) {
+	p := NewProblem()
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("expected error for empty problem")
+	}
+}
+
+func TestSolveNoConstraints(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 1, 4, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	almostEq(t, sol.Value(x), 1, 1e-9, "x")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10, 1)
+	p.AddConstraint("c", []Term{{x, 1}}, GE, 2)
+	q := p.Clone()
+	q.SetBounds(x, 5, 10)
+	solP, _ := p.Solve()
+	solQ, _ := q.Solve()
+	almostEq(t, solP.Value(x), 2, 1e-7, "original x")
+	almostEq(t, solQ.Value(x), 5, 1e-7, "clone x")
+}
+
+func TestIterLimit(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 1)
+	p.AddConstraint("c", []Term{{x, 1}, {y, 1}}, GE, 10)
+	sol, err := p.SolveOpts(Options{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusIterLimit && sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestBigMDisjunctionShape(t *testing.T) {
+	// A miniature of the floorplanning constraint (2): two unit squares on a
+	// chip of width 2, minimize height. With the binary relaxed to [0,1] the
+	// LP can "cheat", but with the binary fixed to each side, the height is
+	// 1 (side by side) or 2 (stacked).
+	build := func(zLo, zHi float64) *Problem {
+		p := NewProblem()
+		const W, H = 2.0, 4.0
+		x1 := p.AddVariable("x1", 0, math.Inf(1), 0)
+		y1 := p.AddVariable("y1", 0, math.Inf(1), 0)
+		x2 := p.AddVariable("x2", 0, math.Inf(1), 0)
+		y2 := p.AddVariable("y2", 0, math.Inf(1), 0)
+		z := p.AddVariable("z", zLo, zHi, 0) // 0: 1 left of 2; 1: 1 below 2
+		h := p.AddVariable("h", 0, math.Inf(1), 1)
+		// x1 + 1 <= x2 + W*z
+		p.AddConstraint("left", []Term{{x1, 1}, {x2, -1}, {z, -W}}, LE, -1)
+		// y1 + 1 <= y2 + H*(1-z)
+		p.AddConstraint("below", []Term{{y1, 1}, {y2, -1}, {z, H}}, LE, H-1)
+		p.AddConstraint("fit1", []Term{{x1, 1}}, LE, W-1)
+		p.AddConstraint("fit2", []Term{{x2, 1}}, LE, W-1)
+		p.AddConstraint("h1", []Term{{h, 1}, {y1, -1}}, GE, 1)
+		p.AddConstraint("h2", []Term{{h, 1}, {y2, -1}}, GE, 1)
+		return p
+	}
+	for _, tc := range []struct {
+		zLo, zHi, want float64
+	}{
+		{0, 0, 1}, // side by side fits in height 1
+		{1, 1, 2}, // stacked needs height 2
+	} {
+		sol, err := build(tc.zLo, tc.zHi).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireStatus(t, sol, StatusOptimal)
+		almostEq(t, sol.Objective, tc.want, 1e-6, "height")
+	}
+	// Relaxation must be no worse than either branch.
+	sol, err := build(0, 1).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, sol, StatusOptimal)
+	if sol.Objective > 1+1e-6 {
+		t.Fatalf("relaxation objective %v exceeds best branch 1", sol.Objective)
+	}
+}
+
+// Randomized regression: generate feasible-by-construction LPs and verify
+// the returned point satisfies all constraints and that the objective is
+// no worse than the known feasible point used for construction.
+func TestSolveRandomFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		nv := 2 + rng.Intn(6)
+		nc := 1 + rng.Intn(8)
+		p := NewProblem()
+		point := make([]float64, nv)
+		vars := make([]VarID, nv)
+		for j := 0; j < nv; j++ {
+			lo := float64(rng.Intn(5)) - 2
+			hi := lo + 1 + float64(rng.Intn(10))
+			cost := float64(rng.Intn(11)) - 5
+			vars[j] = p.AddVariable("v", lo, hi, cost)
+			point[j] = lo + (hi-lo)*rng.Float64()
+		}
+		for i := 0; i < nc; i++ {
+			var terms []Term
+			lhs := 0.0
+			for j := 0; j < nv; j++ {
+				if rng.Float64() < 0.5 {
+					continue
+				}
+				c := float64(rng.Intn(9)) - 4
+				terms = append(terms, Term{vars[j], c})
+				lhs += c * point[j]
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			// Make the row satisfied at the construction point.
+			if rng.Float64() < 0.5 {
+				p.AddConstraint("c", terms, LE, lhs+rng.Float64()*3)
+			} else {
+				p.AddConstraint("c", terms, GE, lhs-rng.Float64()*3)
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v for feasible-by-construction LP", trial, sol.Status)
+		}
+		if v := p.MaxViolation(sol.X); v > 1e-6 {
+			t.Fatalf("trial %d: violation %v", trial, v)
+		}
+		// Optimality sanity: objective <= value at the known feasible point.
+		ref := 0.0
+		for j := 0; j < nv; j++ {
+			ref += p.ObjectiveCoef(vars[j]) * point[j]
+		}
+		if sol.Objective > ref+1e-6 {
+			t.Fatalf("trial %d: objective %v worse than feasible point %v", trial, sol.Objective, ref)
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	p := NewProblem()
+	mustPanic(t, func() { p.AddVariable("bad", math.Inf(-1), 0, 0) })
+	mustPanic(t, func() { p.AddVariable("bad", 5, 1, 0) })
+	x := p.AddVariable("x", 0, 1, 0)
+	mustPanic(t, func() { p.AddConstraint("bad", []Term{{VarID(99), 1}}, LE, 0) })
+	mustPanic(t, func() { p.SetBounds(x, 2, 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("Op strings wrong")
+	}
+	for s, want := range map[Status]string{
+		StatusOptimal:    "optimal",
+		StatusInfeasible: "infeasible",
+		StatusUnbounded:  "unbounded",
+		StatusIterLimit:  "iteration-limit",
+	} {
+		if s.String() != want {
+			t.Fatalf("Status(%d) = %q, want %q", s, s.String(), want)
+		}
+	}
+}

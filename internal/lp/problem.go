@@ -1,0 +1,235 @@
+// Package lp implements a dense, bounded-variable, two-phase primal
+// simplex solver for linear programs
+//
+//	minimize    c'x
+//	subject to  a_i'x {<=,>=,=} b_i   for every constraint i
+//	            lo <= x <= hi         (hi may be +Inf)
+//
+// It is the mathematical-programming substrate that stands in for the
+// LINDO package used in Sutanthavibul, Shragowitz and Rosen (DAC 1990):
+// the floorplanning subproblems of the paper are built as lp.Problem
+// instances and the 0-1 variables are handled by the branch-and-bound
+// layer in package milp.
+//
+// The implementation is a textbook full-tableau bounded-variable simplex
+// with Dantzig pricing, a Bland anti-cycling fallback, and explicit
+// infeasibility/unboundedness detection. All variables must have a finite
+// lower bound, which every floorplanning variable naturally has
+// (coordinates and heights are non-negative, binaries live in [0,1]).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// VarID identifies a variable of a Problem.
+type VarID int
+
+// ConID identifies a constraint of a Problem.
+type ConID int
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // a'x <= b
+	GE           // a'x >= b
+	EQ           // a'x == b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "=="
+	}
+}
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// Problem is a linear program under construction. The zero value is an
+// empty minimization problem ready for use.
+type Problem struct {
+	names []string
+	lo    []float64
+	hi    []float64
+	obj   []float64
+
+	conNames []string
+	rows     [][]Term
+	ops      []Op
+	rhs      []float64
+
+	maximize bool
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// SetMaximize switches the objective sense to maximization (the default is
+// minimization).
+func (p *Problem) SetMaximize(max bool) { p.maximize = max }
+
+// Maximizing reports the current objective sense.
+func (p *Problem) Maximizing() bool { return p.maximize }
+
+// AddVariable adds a variable with bounds [lo, hi] and objective
+// coefficient cost, returning its identifier. lo must be finite; hi may be
+// math.Inf(1).
+func (p *Problem) AddVariable(name string, lo, hi, cost float64) VarID {
+	if math.IsInf(lo, 0) || math.IsNaN(lo) {
+		panic(fmt.Sprintf("lp: variable %q requires a finite lower bound, got %v", name, lo))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("lp: variable %q has empty bound range [%v, %v]", name, lo, hi))
+	}
+	p.names = append(p.names, name)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.obj = append(p.obj, cost)
+	return VarID(len(p.names) - 1)
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.names) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// VarName returns the name of variable v.
+func (p *Problem) VarName(v VarID) string { return p.names[v] }
+
+// Bounds returns the bounds of variable v.
+func (p *Problem) Bounds(v VarID) (lo, hi float64) { return p.lo[v], p.hi[v] }
+
+// SetBounds replaces the bounds of variable v. It is used by the
+// branch-and-bound layer to fix binaries along a branch.
+func (p *Problem) SetBounds(v VarID, lo, hi float64) {
+	if math.IsInf(lo, 0) || math.IsNaN(lo) || hi < lo {
+		panic(fmt.Sprintf("lp: invalid bounds [%v, %v] for %q", lo, hi, p.names[v]))
+	}
+	p.lo[v] = lo
+	p.hi[v] = hi
+}
+
+// SetObjectiveCoef replaces the objective coefficient of variable v.
+func (p *Problem) SetObjectiveCoef(v VarID, cost float64) { p.obj[v] = cost }
+
+// ObjectiveCoef returns the objective coefficient of variable v.
+func (p *Problem) ObjectiveCoef(v VarID) float64 { return p.obj[v] }
+
+// AddConstraint adds the constraint sum(terms) op rhs and returns its
+// identifier. Terms mentioning the same variable are accumulated.
+func (p *Problem) AddConstraint(name string, terms []Term, op Op, rhs float64) ConID {
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(p.names) {
+			panic(fmt.Sprintf("lp: constraint %q references unknown variable %d", name, t.Var))
+		}
+	}
+	own := make([]Term, len(terms))
+	copy(own, terms)
+	p.conNames = append(p.conNames, name)
+	p.rows = append(p.rows, own)
+	p.ops = append(p.ops, op)
+	p.rhs = append(p.rhs, rhs)
+	return ConID(len(p.rows) - 1)
+}
+
+// Clone returns a deep copy of the problem. Branch-and-bound nodes clone
+// the relaxation before tightening variable bounds.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		names:    append([]string(nil), p.names...),
+		lo:       append([]float64(nil), p.lo...),
+		hi:       append([]float64(nil), p.hi...),
+		obj:      append([]float64(nil), p.obj...),
+		conNames: append([]string(nil), p.conNames...),
+		ops:      append([]Op(nil), p.ops...),
+		rhs:      append([]float64(nil), p.rhs...),
+		maximize: p.maximize,
+	}
+	q.rows = make([][]Term, len(p.rows))
+	for i, r := range p.rows {
+		q.rows[i] = append([]Term(nil), r...)
+	}
+	return q
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status     Status
+	Objective  float64   // in the problem's original sense
+	X          []float64 // one value per variable, in AddVariable order
+	Iterations int       // simplex pivots performed (both phases)
+
+	// Duals holds one dual value per constraint (in AddConstraint order)
+	// and ReducedCosts one reduced cost per variable, both in the
+	// problem's own objective sense and populated only at StatusOptimal.
+	// They satisfy strong duality with variable bounds:
+	//
+	//	Objective == sum_i Duals[i]*rhs_i + sum_j ReducedCosts[j]*X[j]
+	//
+	// and complementary slackness: a nonzero dual implies a tight row, a
+	// nonzero reduced cost implies the variable rests on a bound.
+	Duals        []float64
+	ReducedCosts []float64
+}
+
+// Value returns the solution value of variable v.
+func (s *Solution) Value(v VarID) float64 { return s.X[v] }
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIter bounds the total number of simplex pivots (both phases).
+	// Zero means the default of 50000.
+	MaxIter int
+}
+
+// ErrBadModel is returned for structurally invalid problems (no variables).
+var ErrBadModel = errors.New("lp: problem has no variables")
+
+// Solve solves the problem with default options.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveOpts(Options{}) }
+
+// SolveOpts solves the problem with the given options. The Problem itself
+// is not modified.
+func (p *Problem) SolveOpts(opt Options) (*Solution, error) {
+	if len(p.names) == 0 {
+		return nil, ErrBadModel
+	}
+	return solveSimplex(p, opt)
+}

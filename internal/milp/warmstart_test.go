@@ -1,0 +1,62 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"afp/internal/lp"
+)
+
+// Warm-started branch and bound must reach the same optima as the cold
+// path on the brute-force-checked knapsack.
+func TestWarmStartKnapsack(t *testing.T) {
+	res := solveKnapsack(t, Options{WarmStart: true})
+	if res.Status != StatusOptimal || math.Abs(res.Objective-22) > 1e-6 {
+		t.Fatalf("warm-start result = %+v", res)
+	}
+}
+
+// Warm start falls back to cold solves when a column has no finite
+// improving bound, still detecting unboundedness.
+func TestWarmStartFallsBackOnUnboundedColumns(t *testing.T) {
+	p := lp.NewProblem()
+	m := NewModel(p)
+	p.AddVariable("x", 0, math.Inf(1), -1)
+	z := m.AddBinary("z", 0)
+	p.AddConstraint("link", []lp.Term{{Var: z, Coef: 1}}, lp.LE, 1)
+	res := Solve(m, Options{WarmStart: true})
+	if res.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+// Equivalence of warm and cold optima over the placement disjunction.
+func TestWarmStartPlacementDisjunction(t *testing.T) {
+	build := func() *Model {
+		p := lp.NewProblem()
+		m := NewModel(p)
+		const W, H = 2.0, 4.0
+		x1 := p.AddVariable("x1", 0, W-1, 0)
+		x2 := p.AddVariable("x2", 0, W-1, 0)
+		y1 := p.AddVariable("y1", 0, H, 0)
+		y2 := p.AddVariable("y2", 0, H, 0)
+		h := p.AddVariable("h", 0, H, 1)
+		zx := m.AddBinary("zx", 0)
+		zy := m.AddBinary("zy", 0)
+		p.AddConstraint("left", []lp.Term{{Var: x1, Coef: 1}, {Var: x2, Coef: -1}, {Var: zx, Coef: -W}, {Var: zy, Coef: -W}}, lp.LE, -1)
+		p.AddConstraint("right", []lp.Term{{Var: x2, Coef: 1}, {Var: x1, Coef: -1}, {Var: zx, Coef: -W}, {Var: zy, Coef: W}}, lp.LE, W-1)
+		p.AddConstraint("below", []lp.Term{{Var: y1, Coef: 1}, {Var: y2, Coef: -1}, {Var: zx, Coef: H}, {Var: zy, Coef: -H}}, lp.LE, H-1)
+		p.AddConstraint("above", []lp.Term{{Var: y2, Coef: 1}, {Var: y1, Coef: -1}, {Var: zx, Coef: H}, {Var: zy, Coef: H}}, lp.LE, 2*H-1)
+		p.AddConstraint("h1", []lp.Term{{Var: h, Coef: 1}, {Var: y1, Coef: -1}}, lp.GE, 1)
+		p.AddConstraint("h2", []lp.Term{{Var: h, Coef: 1}, {Var: y2, Coef: -1}}, lp.GE, 1)
+		return m
+	}
+	cold := Solve(build(), Options{})
+	warm := Solve(build(), Options{WarmStart: true})
+	if cold.Status != StatusOptimal || warm.Status != StatusOptimal {
+		t.Fatalf("statuses %v / %v", cold.Status, warm.Status)
+	}
+	if math.Abs(cold.Objective-warm.Objective) > 1e-6 {
+		t.Fatalf("cold %v != warm %v", cold.Objective, warm.Objective)
+	}
+}

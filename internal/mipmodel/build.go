@@ -1,0 +1,381 @@
+package mipmodel
+
+import (
+	"fmt"
+
+	"afp/internal/geom"
+	"afp/internal/lp"
+	"afp/internal/milp"
+)
+
+// pairKind distinguishes the two families of non-overlap disjunctions.
+type pairKind int
+
+const (
+	pairNewNew pairKind = iota
+	pairNewObstacle
+)
+
+// pair records the 0-1 variables of one non-overlap disjunction so that
+// integer hints can be constructed from a geometric placement.
+type pair struct {
+	kind pairKind
+	i, j int // new-module slots; j is an obstacle index for pairNewObstacle
+	z, y lp.VarID
+}
+
+// wireVar records one wirelength auxiliary pair.
+type wireVar struct {
+	a, b   int // new-module slots; b == -1 means anchor
+	anchor int // anchor slice index when b == -1
+	dx, dy lp.VarID
+}
+
+// Built is a constructed subproblem MILP together with the handles needed
+// to decode solutions and build integer hints.
+type Built struct {
+	Spec  *Spec
+	Model *milp.Model
+
+	X, Y   []lp.VarID // lower-left corner per new module
+	Rot    []lp.VarID // rotation binary per new module (-1 if not rotatable)
+	DW     []lp.VarID // width-decrease variable per flexible module (-1 otherwise)
+	Height lp.VarID   // chip height variable y of constraints (3)
+
+	ds     []dims
+	pairs  []pair
+	wires  []wireVar
+	bigH   float64
+	floorY float64 // highest obstacle top; lower bound on Height
+}
+
+// Build constructs the MILP for the subproblem described by spec.
+func Build(spec *Spec) (*Built, error) {
+	if spec.ChipWidth <= 0 {
+		return nil, fmt.Errorf("mipmodel: chip width must be positive, got %g", spec.ChipWidth)
+	}
+	if len(spec.New) == 0 {
+		return nil, fmt.Errorf("mipmodel: no modules to place")
+	}
+	n := len(spec.New)
+	ds := make([]dims, n)
+	for i := range spec.New {
+		d, err := moduleDims(&spec.New[i], spec.Linearize)
+		if err != nil {
+			return nil, err
+		}
+		if d.minWidth() > spec.ChipWidth+1e-9 {
+			return nil, fmt.Errorf("mipmodel: module %q (min width %g) cannot fit chip width %g",
+				spec.New[i].Mod.Name, d.minWidth(), spec.ChipWidth)
+		}
+		ds[i] = d
+	}
+
+	W := spec.ChipWidth
+	H := spec.MaxHeight
+	if H <= 0 {
+		H = spec.defaultMaxHeight(ds)
+	}
+	floorY := 0.0
+	for _, r := range spec.Obstacles {
+		if t := r.Y2(); t > floorY {
+			floorY = t
+		}
+	}
+	if H < floorY {
+		H = floorY + 1
+	}
+
+	p := lp.NewProblem()
+	m := milp.NewModel(p)
+	b := &Built{
+		Spec: spec, Model: m, ds: ds, bigH: H, floorY: floorY,
+		X: make([]lp.VarID, n), Y: make([]lp.VarID, n),
+		Rot: make([]lp.VarID, n), DW: make([]lp.VarID, n),
+	}
+
+	// Secondary "gravity" objective weights (see Spec.Gravity). The y pull
+	// is an order of magnitude stronger than the x pull so that flatness
+	// wins over left-packing.
+	grav := spec.Gravity
+	if grav == 0 {
+		grav = 1e-3
+	}
+	if grav < 0 {
+		grav = 0
+	}
+	gy := grav / float64(n)
+	gx := gy / 10
+
+	// Placement variables.
+	for i := range spec.New {
+		name := spec.New[i].Mod.Name
+		xHi := W - ds[i].minWidth()
+		if xHi < 0 {
+			xHi = 0
+		}
+		b.X[i] = p.AddVariable("x."+name, 0, xHi, gx)
+		b.Y[i] = p.AddVariable("y."+name, 0, H, gy)
+		b.Rot[i] = -1
+		b.DW[i] = -1
+		if ds[i].rotatable {
+			b.Rot[i] = m.AddBinary("rot."+name, 0)
+		}
+		if ds[i].flexible {
+			b.DW[i] = p.AddVariable("dw."+name, 0, ds[i].dwMax, 0)
+		}
+	}
+	b.Height = p.AddVariable("chip.height", floorY, H, 1)
+
+	// weff / heff linear expression helpers. scale lets callers halve the
+	// expression for center coordinates.
+	weff := func(i int, scale float64) (terms []lp.Term, c float64) {
+		d := ds[i]
+		c = d.wConst * scale
+		if d.rotatable {
+			terms = append(terms, lp.Term{Var: b.Rot[i], Coef: d.wRot * scale})
+		}
+		if d.flexible {
+			terms = append(terms, lp.Term{Var: b.DW[i], Coef: -1 * scale})
+		}
+		return terms, c
+	}
+	heff := func(i int, scale float64) (terms []lp.Term, c float64) {
+		d := ds[i]
+		c = d.hConst * scale
+		if d.rotatable {
+			terms = append(terms, lp.Term{Var: b.Rot[i], Coef: d.hRot * scale})
+		}
+		if d.flexible {
+			terms = append(terms, lp.Term{Var: b.DW[i], Coef: d.hSlope * scale})
+		}
+		return terms, c
+	}
+
+	// Chip fit (constraints (3)/(5)) and height definition.
+	for i := range spec.New {
+		wt, wc := weff(i, 1)
+		fit := append([]lp.Term{{Var: b.X[i], Coef: 1}}, wt...)
+		p.AddConstraint(fmt.Sprintf("fit.%s", spec.New[i].Mod.Name), fit, lp.LE, W-wc)
+
+		ht, hc := heff(i, 1)
+		row := []lp.Term{{Var: b.Height, Coef: 1}, {Var: b.Y[i], Coef: -1}}
+		for _, t := range ht {
+			row = append(row, lp.Term{Var: t.Var, Coef: -t.Coef})
+		}
+		p.AddConstraint(fmt.Sprintf("height.%s", spec.New[i].Mod.Name), row, lp.GE, hc)
+	}
+
+	// Valid area cut: the occupied region (obstacles plus the disjoint new
+	// modules) fits inside the W x height chip, so W*height must be at
+	// least the total occupied area. The big-M relaxation of (2) is very
+	// weak on its own — fractional binaries let modules overlap freely —
+	// and this single row gives branch and bound a useful global lower
+	// bound. Module areas are taken as orientation- and shape-independent
+	// lower bounds (the bare module area), which keeps the row valid for
+	// every branch.
+	{
+		// Obstacles may overlap (the Section 3.1 overlapping-covers variant),
+		// so their contribution is the exact union area.
+		occupied := geom.UnionArea(spec.Obstacles)
+		for i := range spec.New {
+			occupied += spec.New[i].Mod.ModuleArea()
+		}
+		p.AddConstraint("area.cut", []lp.Term{{Var: b.Height, Coef: W}}, lp.GE, occupied)
+	}
+
+	// Non-overlap disjunctions (2) among new modules.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ni, nj := spec.New[i].Mod.Name, spec.New[j].Mod.Name
+			zp := m.AddBinary(fmt.Sprintf("z.%s.%s", ni, nj), 0)
+			yp := m.AddBinary(fmt.Sprintf("p.%s.%s", ni, nj), 0)
+			b.pairs = append(b.pairs, pair{kind: pairNewNew, i: i, j: j, z: zp, y: yp})
+
+			wti, wci := weff(i, 1)
+			wtj, wcj := weff(j, 1)
+			hti, hci := heff(i, 1)
+			htj, hcj := heff(j, 1)
+
+			// i left of j: x_i + weff_i <= x_j + W(z+p)
+			left := append([]lp.Term{{Var: b.X[i], Coef: 1}, {Var: b.X[j], Coef: -1},
+				{Var: zp, Coef: -W}, {Var: yp, Coef: -W}}, wti...)
+			p.AddConstraint(fmt.Sprintf("L.%s.%s", ni, nj), left, lp.LE, -wci)
+
+			// i right of j: x_j + weff_j <= x_i + W(1+z-p)
+			right := append([]lp.Term{{Var: b.X[j], Coef: 1}, {Var: b.X[i], Coef: -1},
+				{Var: zp, Coef: -W}, {Var: yp, Coef: W}}, wtj...)
+			p.AddConstraint(fmt.Sprintf("R.%s.%s", ni, nj), right, lp.LE, W-wcj)
+
+			// i below j: y_i + heff_i <= y_j + H(1-z+p)
+			below := append([]lp.Term{{Var: b.Y[i], Coef: 1}, {Var: b.Y[j], Coef: -1},
+				{Var: zp, Coef: H}, {Var: yp, Coef: -H}}, hti...)
+			p.AddConstraint(fmt.Sprintf("B.%s.%s", ni, nj), below, lp.LE, H-hci)
+
+			// i above j: y_j + heff_j <= y_i + H(2-z-p)
+			above := append([]lp.Term{{Var: b.Y[j], Coef: 1}, {Var: b.Y[i], Coef: -1},
+				{Var: zp, Coef: H}, {Var: yp, Coef: H}}, htj...)
+			p.AddConstraint(fmt.Sprintf("A.%s.%s", ni, nj), above, lp.LE, 2*H-hcj)
+		}
+	}
+
+	// Non-overlap disjunctions against fixed covering rectangles.
+	for i := 0; i < n; i++ {
+		for o, r := range spec.Obstacles {
+			ni := spec.New[i].Mod.Name
+			zp := m.AddBinary(fmt.Sprintf("z.%s.ob%d", ni, o), 0)
+			yp := m.AddBinary(fmt.Sprintf("p.%s.ob%d", ni, o), 0)
+			b.pairs = append(b.pairs, pair{kind: pairNewObstacle, i: i, j: o, z: zp, y: yp})
+
+			wti, wci := weff(i, 1)
+			hti, hci := heff(i, 1)
+
+			// i left of r: x_i + weff_i <= r.X + W(z+p)
+			left := append([]lp.Term{{Var: b.X[i], Coef: 1},
+				{Var: zp, Coef: -W}, {Var: yp, Coef: -W}}, wti...)
+			p.AddConstraint(fmt.Sprintf("L.%s.ob%d", ni, o), left, lp.LE, r.X-wci)
+
+			// i right of r: r.X + r.W <= x_i + W(1+z-p)
+			right := []lp.Term{{Var: b.X[i], Coef: -1}, {Var: zp, Coef: -W}, {Var: yp, Coef: W}}
+			p.AddConstraint(fmt.Sprintf("R.%s.ob%d", ni, o), right, lp.LE, W-r.X2())
+
+			// i below r: y_i + heff_i <= r.Y + H(1-z+p)
+			below := append([]lp.Term{{Var: b.Y[i], Coef: 1},
+				{Var: zp, Coef: H}, {Var: yp, Coef: -H}}, hti...)
+			p.AddConstraint(fmt.Sprintf("B.%s.ob%d", ni, o), below, lp.LE, H+r.Y-hci)
+
+			// i above r: r.Y + r.H <= y_i + H(2-z-p)
+			above := []lp.Term{{Var: b.Y[i], Coef: -1}, {Var: zp, Coef: H}, {Var: yp, Coef: H}}
+			p.AddConstraint(fmt.Sprintf("A.%s.ob%d", ni, o), above, lp.LE, 2*H-r.Y2())
+		}
+	}
+
+	// Wirelength auxiliaries. getWire lazily creates the (dx, dy) pair
+	// bounding the Manhattan distance between two module centers; it is
+	// shared by the AreaWire objective and the critical-net length
+	// constraints so that a pair that is both connected and critical uses
+	// one set of variables.
+	wireIdx := map[[3]int]int{}
+	getWire := func(a, bSlot, anchorIdx int) *wireVar {
+		key := [3]int{a, bSlot, anchorIdx}
+		if i, ok := wireIdx[key]; ok {
+			return &b.wires[i]
+		}
+		var namB string
+		if bSlot >= 0 {
+			namB = spec.New[bSlot].Mod.Name
+		} else {
+			namB = fmt.Sprintf("anc%d", anchorIdx)
+		}
+		dx := p.AddVariable(fmt.Sprintf("dx.%s.%s", spec.New[a].Mod.Name, namB), 0, W, 0)
+		dy := p.AddVariable(fmt.Sprintf("dy.%s.%s", spec.New[a].Mod.Name, namB), 0, H, 0)
+		b.wires = append(b.wires, wireVar{a: a, b: bSlot, anchor: anchorIdx, dx: dx, dy: dy})
+		wireIdx[key] = len(b.wires) - 1
+
+		// Center of a: x_a + weff_a/2; of b: x_b + weff_b/2 or constant.
+		cxa, cca := weff(a, 0.5)
+		cxa = append(cxa, lp.Term{Var: b.X[a], Coef: 1})
+		cya, hca := heff(a, 0.5)
+		cya = append(cya, lp.Term{Var: b.Y[a], Coef: 1})
+
+		if bSlot >= 0 {
+			cxb, ccb := weff(bSlot, 0.5)
+			cxb = append(cxb, lp.Term{Var: b.X[bSlot], Coef: 1})
+			cyb, hcb := heff(bSlot, 0.5)
+			cyb = append(cyb, lp.Term{Var: b.Y[bSlot], Coef: 1})
+			addAbsRows(p, dx, cxa, cca, cxb, ccb)
+			addAbsRows(p, dy, cya, hca, cyb, hcb)
+		} else {
+			an := spec.Anchors[anchorIdx]
+			addAbsRows(p, dx, cxa, cca, nil, an.X)
+			addAbsRows(p, dy, cya, hca, nil, an.Y)
+		}
+		return &b.wires[len(b.wires)-1]
+	}
+
+	if spec.Objective == AreaWire {
+		lambda := spec.WireWeight
+		if lambda <= 0 {
+			lambda = 0.05
+		}
+		if spec.Conn == nil {
+			return nil, fmt.Errorf("mipmodel: AreaWire objective requires a connectivity function")
+		}
+		for a := 0; a < n; a++ {
+			for bb := a + 1; bb < n; bb++ {
+				if c := spec.Conn(spec.New[a].Index, spec.New[bb].Index); c > 0 {
+					wv := getWire(a, bb, -1)
+					p.SetObjectiveCoef(wv.dx, lambda*c)
+					p.SetObjectiveCoef(wv.dy, lambda*c)
+				}
+			}
+			for k := range spec.Anchors {
+				if c := spec.Conn(spec.New[a].Index, spec.Anchors[k].Index); c > 0 {
+					wv := getWire(a, -1, k)
+					p.SetObjectiveCoef(wv.dx, lambda*c)
+					p.SetObjectiveCoef(wv.dy, lambda*c)
+				}
+			}
+		}
+	}
+
+	// Critical-net length constraints: dx + dy <= MaxLen for each pair
+	// resolvable within this subproblem.
+	slotOf := make(map[int]int, n)
+	for i := range spec.New {
+		slotOf[spec.New[i].Index] = i
+	}
+	anchorIdxOf := make(map[int]int, len(spec.Anchors))
+	for k := range spec.Anchors {
+		anchorIdxOf[spec.Anchors[k].Index] = k
+	}
+	for _, cp := range spec.Critical {
+		a, aNew := slotOf[cp.A]
+		bb, bNew := slotOf[cp.B]
+		switch {
+		case aNew && bNew:
+			if a > bb {
+				a, bb = bb, a
+			}
+			wv := getWire(a, bb, -1)
+			p.AddConstraint("crit", []lp.Term{{Var: wv.dx, Coef: 1}, {Var: wv.dy, Coef: 1}}, lp.LE, cp.MaxLen)
+		case aNew:
+			if k, ok := anchorIdxOf[cp.B]; ok {
+				wv := getWire(a, -1, k)
+				p.AddConstraint("crit", []lp.Term{{Var: wv.dx, Coef: 1}, {Var: wv.dy, Coef: 1}}, lp.LE, cp.MaxLen)
+			}
+		case bNew:
+			if k, ok := anchorIdxOf[cp.A]; ok {
+				wv := getWire(bb, -1, k)
+				p.AddConstraint("crit", []lp.Term{{Var: wv.dx, Coef: 1}, {Var: wv.dy, Coef: 1}}, lp.LE, cp.MaxLen)
+			}
+		}
+	}
+
+	return b, nil
+}
+
+// addAbsRows adds d >= (exprA + ca) - (exprB + cb) and the reverse, so
+// that d bounds |centerA - centerB| from above. exprB may be nil for a
+// constant center cb.
+func addAbsRows(p *lp.Problem, d lp.VarID, exprA []lp.Term, ca float64, exprB []lp.Term, cb float64) {
+	// d - exprA + exprB >= ca - cb
+	row1 := []lp.Term{{Var: d, Coef: 1}}
+	for _, t := range exprA {
+		row1 = append(row1, lp.Term{Var: t.Var, Coef: -t.Coef})
+	}
+	for _, t := range exprB {
+		row1 = append(row1, lp.Term{Var: t.Var, Coef: t.Coef})
+	}
+	p.AddConstraint("abs+", row1, lp.GE, ca-cb)
+
+	// d + exprA - exprB >= cb - ca
+	row2 := []lp.Term{{Var: d, Coef: 1}}
+	for _, t := range exprA {
+		row2 = append(row2, lp.Term{Var: t.Var, Coef: t.Coef})
+	}
+	for _, t := range exprB {
+		row2 = append(row2, lp.Term{Var: t.Var, Coef: -t.Coef})
+	}
+	p.AddConstraint("abs-", row2, lp.GE, cb-ca)
+}

@@ -1,0 +1,114 @@
+package mipmodel
+
+import (
+	"math"
+	"testing"
+
+	"afp/internal/geom"
+	"afp/internal/milp"
+)
+
+func manhattan(a, b geom.Rect) float64 {
+	return math.Abs(a.CenterX()-b.CenterX()) + math.Abs(a.CenterY()-b.CenterY())
+}
+
+func TestCriticalPairBoundsDistance(t *testing.T) {
+	// Three 2x2 modules on a width-6 chip. Without constraints, modules 0
+	// and 2 may end up 4 apart; with a critical bound of 2 they must be
+	// adjacent.
+	mods := []struct{ name string }{{"a"}, {"b"}, {"c"}}
+	newMods := make([]NewModule, 3)
+	for i := range mods {
+		m := rigid(mods[i].name, 2, 2, false)
+		newMods[i] = NewModule{Index: i, Mod: &m}
+	}
+	spec := &Spec{
+		ChipWidth: 6,
+		New:       newMods,
+		Critical:  []CriticalPair{{A: 0, B: 2, MaxLen: 2}},
+	}
+	b, res := solveSpec(t, spec)
+	pls := b.Decode(res.X)
+	checkNoOverlap(t, pls, nil)
+	if d := manhattan(pls[0].Env, pls[2].Env); d > 2+1e-6 {
+		t.Fatalf("critical pair %v apart, bound 2", d)
+	}
+}
+
+func TestCriticalPairToAnchor(t *testing.T) {
+	m := rigid("a", 2, 2, false)
+	spec := &Spec{
+		ChipWidth: 12,
+		Obstacles: []geom.Rect{geom.NewRect(0, 0, 12, 2)},
+		Anchors:   []Anchor{{Index: 7, X: 10, Y: 1}},
+		New:       []NewModule{{Index: 0, Mod: &m}},
+		Critical:  []CriticalPair{{A: 0, B: 7, MaxLen: 3}},
+	}
+	b, res := solveSpec(t, spec)
+	pls := b.Decode(res.X)
+	d := math.Abs(pls[0].Env.CenterX()-10) + math.Abs(pls[0].Env.CenterY()-1)
+	if d > 3+1e-6 {
+		t.Fatalf("anchor-critical module %v away, bound 3", d)
+	}
+}
+
+func TestCriticalPairInfeasible(t *testing.T) {
+	// Two 2x2 modules with centers that can never be closer than 2 (they
+	// must not overlap): a bound of 1 is infeasible.
+	m1 := rigid("a", 2, 2, false)
+	m2 := rigid("b", 2, 2, false)
+	spec := &Spec{
+		ChipWidth: 8,
+		New:       []NewModule{{Index: 0, Mod: &m1}, {Index: 1, Mod: &m2}},
+		Critical:  []CriticalPair{{A: 0, B: 1, MaxLen: 1}},
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := milp.Solve(b.Model, milp.Options{})
+	if res.Status != milp.StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestCriticalPairUnknownModulesIgnored(t *testing.T) {
+	m := rigid("a", 2, 2, false)
+	spec := &Spec{
+		ChipWidth: 8,
+		New:       []NewModule{{Index: 0, Mod: &m}},
+		Critical:  []CriticalPair{{A: 5, B: 9, MaxLen: 1}}, // neither present
+	}
+	b, res := solveSpec(t, spec)
+	if got := b.HeightOf(res.X); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("height = %v, want 2", got)
+	}
+}
+
+func TestCriticalAndWireShareVariables(t *testing.T) {
+	// When a pair is both connected and critical, the wire variables are
+	// shared: the model should have exactly one dx/dy pair for it.
+	m1 := rigid("a", 2, 2, false)
+	m2 := rigid("b", 2, 2, false)
+	spec := &Spec{
+		ChipWidth:  8,
+		New:        []NewModule{{Index: 0, Mod: &m1}, {Index: 1, Mod: &m2}},
+		Objective:  AreaWire,
+		WireWeight: 0.01,
+		Conn: func(a, b int) float64 {
+			if a != b {
+				return 1
+			}
+			return 0
+		},
+		Critical: []CriticalPair{{A: 0, B: 1, MaxLen: 2.5}},
+	}
+	b, res := solveSpec(t, spec)
+	if len(b.wires) != 1 {
+		t.Fatalf("wire pairs = %d, want 1 (shared)", len(b.wires))
+	}
+	pls := b.Decode(res.X)
+	if d := manhattan(pls[0].Env, pls[1].Env); d > 2.5+1e-6 {
+		t.Fatalf("distance %v exceeds bound", d)
+	}
+}

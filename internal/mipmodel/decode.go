@@ -1,0 +1,142 @@
+package mipmodel
+
+import (
+	"math"
+
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+// Placement is the decoded position of one newly placed module.
+type Placement struct {
+	// Index is the module's index in the original design.
+	Index int
+	// Env is the occupied box: the module plus its routing envelope. All
+	// non-overlap guarantees apply to Env.
+	Env geom.Rect
+	// Mod is the module proper, centered inside Env.
+	Mod geom.Rect
+	// Rotated reports whether a rigid module was placed rotated by 90
+	// degrees.
+	Rotated bool
+	// Width is the chosen module width (after rotation, excluding
+	// envelope); for flexible modules this is the optimized w_i.
+	Width float64
+}
+
+// Decode maps a MILP solution vector back to module placements.
+func (b *Built) Decode(x []float64) []Placement {
+	out := make([]Placement, len(b.Spec.New))
+	for i := range b.Spec.New {
+		nm := &b.Spec.New[i]
+		d := b.ds[i]
+		rot := false
+		if b.Rot[i] >= 0 && x[b.Rot[i]] > 0.5 {
+			rot = true
+		}
+		dw := 0.0
+		if b.DW[i] >= 0 {
+			dw = x[b.DW[i]]
+		}
+		weff := d.wConst - dw
+		heffv := d.hConst + d.hSlope*dw
+		if rot {
+			weff += d.wRot
+			heffv += d.hRot
+		}
+		env := geom.NewRect(x[b.X[i]], x[b.Y[i]], weff, heffv)
+
+		// Inner module rectangle: strip the envelope padding, which follows
+		// the orientation.
+		padW, padH := nm.PadW, nm.PadH
+		if rot {
+			padW, padH = padH, padW
+		}
+		var mw, mh float64
+		switch nm.Mod.Kind {
+		case netlist.Flexible:
+			mw = weff - padW
+			mh = nm.Mod.Area / mw
+		default:
+			mw = weff - padW
+			mh = heffv - padH
+		}
+		mod := geom.NewRect(env.X+padW/2, env.Y+padH/2, mw, mh)
+		out[i] = Placement{
+			Index:   nm.Index,
+			Env:     env,
+			Mod:     mod,
+			Rotated: rot,
+			Width:   mw,
+		}
+	}
+	return out
+}
+
+// HeightOf returns the chip-height value of a solution vector.
+func (b *Built) HeightOf(x []float64) float64 { return x[b.Height] }
+
+// Hint constructs a full variable assignment from a geometric placement
+// of the new modules, for use as a branch-and-bound incumbent seed. envs
+// gives the envelope box chosen for each new module (in slot order),
+// rotated whether each is rotated, and dw the width decrease of each
+// flexible module. The pair binaries are derived from the geometry; the
+// caller must ensure the envelope boxes are pairwise non-overlapping and
+// clear of all obstacles.
+func (b *Built) Hint(envs []geom.Rect, rotated []bool, dw []float64) []float64 {
+	x := make([]float64, b.Model.P.NumVariables())
+	top := b.floorY
+	for i := range b.Spec.New {
+		x[b.X[i]] = envs[i].X
+		x[b.Y[i]] = envs[i].Y
+		if b.Rot[i] >= 0 && rotated[i] {
+			x[b.Rot[i]] = 1
+		}
+		if b.DW[i] >= 0 {
+			x[b.DW[i]] = dw[i]
+		}
+		if t := envs[i].Y2(); t > top {
+			top = t
+		}
+	}
+	x[b.Height] = top
+	for _, pr := range b.pairs {
+		var other geom.Rect
+		if pr.kind == pairNewNew {
+			other = envs[pr.j]
+		} else {
+			other = b.Spec.Obstacles[pr.j]
+		}
+		z, y := relationBits(envs[pr.i], other)
+		x[pr.z], x[pr.y] = z, y
+	}
+	for _, w := range b.wires {
+		ca := envs[w.a]
+		var cx, cy float64
+		if w.b >= 0 {
+			cx, cy = envs[w.b].CenterX(), envs[w.b].CenterY()
+		} else {
+			cx, cy = b.Spec.Anchors[w.anchor].X, b.Spec.Anchors[w.anchor].Y
+		}
+		x[w.dx] = math.Abs(ca.CenterX() - cx)
+		x[w.dy] = math.Abs(ca.CenterY() - cy)
+	}
+	return x
+}
+
+// relationBits picks the (z, y) assignment of the disjunction (2) that is
+// satisfied by the mutual position of a and o: (0,0) a left of o, (0,1) a
+// right of o, (1,0) a below o, (1,1) a above o.
+func relationBits(a, o geom.Rect) (z, y float64) {
+	const eps = 1e-7
+	switch {
+	case a.X2() <= o.X+eps:
+		return 0, 0
+	case o.X2() <= a.X+eps:
+		return 0, 1
+	case a.Y2() <= o.Y+eps:
+		return 1, 0
+	default:
+		return 1, 1
+	}
+}

@@ -1,0 +1,346 @@
+package mipmodel
+
+import (
+	"math"
+	"testing"
+
+	"afp/internal/geom"
+	"afp/internal/milp"
+	"afp/internal/netlist"
+)
+
+func rigid(name string, w, h float64, rot bool) netlist.Module {
+	return netlist.Module{Name: name, Kind: netlist.Rigid, W: w, H: h, Rotatable: rot}
+}
+
+func flexible(name string, area, minA, maxA float64) netlist.Module {
+	return netlist.Module{Name: name, Kind: netlist.Flexible, Area: area, MinAspect: minA, MaxAspect: maxA}
+}
+
+func solveSpec(t *testing.T, spec *Spec) (*Built, *milp.Result) {
+	t.Helper()
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := milp.Solve(b.Model, milp.Options{})
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("milp status = %v", res.Status)
+	}
+	return b, res
+}
+
+func checkNoOverlap(t *testing.T, pls []Placement, obstacles []geom.Rect) {
+	t.Helper()
+	envs := make([]geom.Rect, len(pls))
+	for i, p := range pls {
+		envs[i] = p.Env
+	}
+	if i, j, bad := geom.AnyOverlap(envs); bad {
+		t.Fatalf("placements %d and %d overlap: %v %v", i, j, envs[i], envs[j])
+	}
+	for _, p := range pls {
+		for k, o := range obstacles {
+			if p.Env.Overlaps(o) {
+				t.Fatalf("placement %v overlaps obstacle %d %v", p.Env, k, o)
+			}
+		}
+	}
+}
+
+func TestTwoRigidSideBySide(t *testing.T) {
+	m1 := rigid("a", 3, 2, false)
+	m2 := rigid("b", 4, 2, false)
+	spec := &Spec{
+		ChipWidth: 8,
+		New:       []NewModule{{Index: 0, Mod: &m1}, {Index: 1, Mod: &m2}},
+	}
+	b, res := solveSpec(t, spec)
+	if h := b.HeightOf(res.X); math.Abs(h-2) > 1e-6 {
+		t.Fatalf("height = %v, want 2 (side by side)", h)
+	}
+	pls := b.Decode(res.X)
+	checkNoOverlap(t, pls, nil)
+}
+
+func TestTwoRigidMustStack(t *testing.T) {
+	m1 := rigid("a", 3, 2, false)
+	m2 := rigid("b", 4, 2, false)
+	spec := &Spec{
+		ChipWidth: 5, // too narrow for side-by-side (needs 7)
+		New:       []NewModule{{Index: 0, Mod: &m1}, {Index: 1, Mod: &m2}},
+	}
+	b, res := solveSpec(t, spec)
+	if h := b.HeightOf(res.X); math.Abs(h-4) > 1e-6 {
+		t.Fatalf("height = %v, want 4 (stacked)", h)
+	}
+	checkNoOverlap(t, b.Decode(res.X), nil)
+}
+
+func TestRotationReducesHeight(t *testing.T) {
+	// A 1x6 module on a width-6 chip next to a 5x1: without rotation the
+	// tall module forces height 6; rotated it lies flat (6x1) and stacks
+	// with the other to height 2.
+	tall := rigid("tall", 1, 6, true)
+	flat := rigid("flat", 5, 1, false)
+	spec := &Spec{
+		ChipWidth: 6,
+		New:       []NewModule{{Index: 0, Mod: &tall}, {Index: 1, Mod: &flat}},
+	}
+	b, res := solveSpec(t, spec)
+	if h := b.HeightOf(res.X); h > 2+1e-6 {
+		t.Fatalf("height = %v, want <= 2 with rotation", h)
+	}
+	pls := b.Decode(res.X)
+	checkNoOverlap(t, pls, nil)
+	if !pls[0].Rotated {
+		t.Fatal("expected the tall module to be rotated")
+	}
+	// Non-rotatable control: same problem without rotation permission.
+	tall2 := rigid("tall", 1, 6, false)
+	spec2 := &Spec{
+		ChipWidth: 6,
+		New:       []NewModule{{Index: 0, Mod: &tall2}, {Index: 1, Mod: &flat}},
+	}
+	_, res2 := solveSpec(t, spec2)
+	if res2.Objective < 6-1e-6 {
+		t.Fatalf("control height = %v, want 6", res2.Objective)
+	}
+}
+
+func TestFlexibleAdaptsShape(t *testing.T) {
+	// A flexible area-8 module (aspect 0.5..2) beside a rigid 4x2 on a
+	// width-8 chip: the flexible can become 4x2 and sit beside it, height 2.
+	fl := flexible("f", 8, 0.5, 2)
+	rg := rigid("r", 4, 2, false)
+	spec := &Spec{
+		ChipWidth: 8,
+		New:       []NewModule{{Index: 0, Mod: &fl}, {Index: 1, Mod: &rg}},
+	}
+	b, res := solveSpec(t, spec)
+	if h := b.HeightOf(res.X); h > 2+1e-6 {
+		t.Fatalf("height = %v, want <= 2", h)
+	}
+	pls := b.Decode(res.X)
+	checkNoOverlap(t, pls, nil)
+	// The decoded flexible module must conserve its area exactly.
+	fp := pls[0]
+	if math.Abs(fp.Mod.W*fp.Mod.H-8) > 1e-6 {
+		t.Fatalf("flexible area = %v, want 8", fp.Mod.W*fp.Mod.H)
+	}
+	// Aspect ratio within bounds.
+	ar := fp.Mod.W / fp.Mod.H
+	if ar < 0.5-1e-6 || ar > 2+1e-6 {
+		t.Fatalf("aspect = %v outside [0.5, 2]", ar)
+	}
+}
+
+func TestSecantOverestimatesTangentUnderestimates(t *testing.T) {
+	m := flexible("f", 100, 0.25, 4) // w in [5, 20]
+	nm := NewModule{Mod: &m}
+	sec, err := moduleDims(&nm, Secant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tan, err := moduleDims(&nm, Tangent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the expansion endpoints both are exact.
+	hTrue := func(w float64) float64 { return 100 / w }
+	hLin := func(d dims, w float64) float64 { return d.hConst + d.hSlope*(20-w) }
+	for _, w := range []float64{5, 20} {
+		if math.Abs(hLin(sec, w)-hTrue(w)) > 1e-9 && w == 5 {
+			t.Fatalf("secant not exact at w=%v: %v vs %v", w, hLin(sec, w), hTrue(w))
+		}
+	}
+	if math.Abs(hLin(tan, 20)-hTrue(20)) > 1e-9 {
+		t.Fatal("tangent not exact at expansion point")
+	}
+	// In the interior: secant above the curve, tangent below.
+	for _, w := range []float64{7, 10, 15} {
+		if hLin(sec, w) < hTrue(w)-1e-9 {
+			t.Fatalf("secant below curve at w=%v: %v < %v", w, hLin(sec, w), hTrue(w))
+		}
+		if hLin(tan, w) > hTrue(w)+1e-9 {
+			t.Fatalf("tangent above curve at w=%v: %v > %v", w, hLin(tan, w), hTrue(w))
+		}
+	}
+}
+
+func TestObstaclesRespected(t *testing.T) {
+	// One 3x3 module, chip width 6, an obstacle occupying the left half up
+	// to height 4: module fits right of the obstacle at ground level.
+	m := rigid("a", 3, 3, false)
+	spec := &Spec{
+		ChipWidth: 6,
+		Obstacles: []geom.Rect{geom.NewRect(0, 0, 3, 4)},
+		New:       []NewModule{{Index: 0, Mod: &m}},
+	}
+	b, res := solveSpec(t, spec)
+	// Chip height must still cover the obstacle (floor 4).
+	if h := b.HeightOf(res.X); math.Abs(h-4) > 1e-6 {
+		t.Fatalf("height = %v, want 4 (obstacle top)", h)
+	}
+	pls := b.Decode(res.X)
+	checkNoOverlap(t, pls, spec.Obstacles)
+	if pls[0].Env.X < 3-1e-6 {
+		t.Fatalf("module at %v should be right of the obstacle", pls[0].Env)
+	}
+}
+
+func TestWireObjectivePullsConnectedTogether(t *testing.T) {
+	// Three 2x2 modules on a width-6 chip; module 0 and 2 are connected.
+	// With AreaOnly any of the 3! side-by-side orders is optimal; with
+	// AreaWire modules 0 and 2 must be adjacent.
+	mods := []netlist.Module{rigid("a", 2, 2, false), rigid("b", 2, 2, false), rigid("c", 2, 2, false)}
+	conn := func(i, j int) float64 {
+		if i+j == 2 && i != j { // pair (0,2)
+			return 5
+		}
+		return 0
+	}
+	spec := &Spec{
+		ChipWidth:  6,
+		New:        []NewModule{{Index: 0, Mod: &mods[0]}, {Index: 1, Mod: &mods[1]}, {Index: 2, Mod: &mods[2]}},
+		Conn:       conn,
+		Objective:  AreaWire,
+		WireWeight: 0.05,
+	}
+	b, res := solveSpec(t, spec)
+	pls := b.Decode(res.X)
+	checkNoOverlap(t, pls, nil)
+	if b.HeightOf(res.X) > 2+1e-6 {
+		t.Fatalf("height = %v, want 2", b.HeightOf(res.X))
+	}
+	d02 := math.Abs(pls[0].Env.CenterX() - pls[2].Env.CenterX())
+	if d02 > 2+1e-6 {
+		t.Fatalf("connected modules %v apart, want adjacent (2)", d02)
+	}
+}
+
+func TestAnchorsAttractPlacement(t *testing.T) {
+	// A single module connected to an anchor on the right side of the
+	// chip floor: the optimizer should place it near the anchor.
+	m := rigid("a", 2, 2, false)
+	spec := &Spec{
+		ChipWidth: 10,
+		Obstacles: []geom.Rect{geom.NewRect(0, 0, 10, 2)},
+		Anchors:   []Anchor{{Index: 1, X: 9, Y: 1}},
+		Conn: func(i, j int) float64 {
+			if (i == 0 && j == 1) || (i == 1 && j == 0) {
+				return 3
+			}
+			return 0
+		},
+		Objective:  AreaWire,
+		WireWeight: 0.05,
+	}
+	spec.New = []NewModule{{Index: 0, Mod: &m}}
+	b, res := solveSpec(t, spec)
+	pls := b.Decode(res.X)
+	checkNoOverlap(t, pls, spec.Obstacles)
+	if pls[0].Env.CenterX() < 7-1e-6 {
+		t.Fatalf("module center %v, want pulled toward anchor x=9", pls[0].Env.CenterX())
+	}
+}
+
+func TestEnvelopePadding(t *testing.T) {
+	m := rigid("a", 4, 2, false)
+	m.Pins = [4]int{2, 1, 2, 1} // N E S W
+	spec := &Spec{
+		ChipWidth: 20,
+		New:       []NewModule{{Index: 0, Mod: &m, PadW: 1, PadH: 2}},
+	}
+	b, res := solveSpec(t, spec)
+	pls := b.Decode(res.X)
+	if math.Abs(pls[0].Env.W-5) > 1e-6 || math.Abs(pls[0].Env.H-4) > 1e-6 {
+		t.Fatalf("envelope = %v, want 5x4", pls[0].Env)
+	}
+	if math.Abs(pls[0].Mod.W-4) > 1e-6 || math.Abs(pls[0].Mod.H-2) > 1e-6 {
+		t.Fatalf("module = %v, want 4x2", pls[0].Mod)
+	}
+	if !pls[0].Env.ContainsRect(pls[0].Mod) {
+		t.Fatal("module not inside envelope")
+	}
+	if h := b.HeightOf(res.X); math.Abs(h-4) > 1e-6 {
+		t.Fatalf("height = %v, want 4 (envelope height)", h)
+	}
+}
+
+func TestHintIsFeasibleIncumbent(t *testing.T) {
+	m1 := rigid("a", 3, 2, false)
+	m2 := rigid("b", 4, 2, true)
+	fl := flexible("f", 8, 0.5, 2)
+	spec := &Spec{
+		ChipWidth: 8,
+		Obstacles: []geom.Rect{geom.NewRect(0, 0, 8, 3)},
+		New: []NewModule{
+			{Index: 0, Mod: &m1}, {Index: 1, Mod: &m2}, {Index: 2, Mod: &fl},
+		},
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hand-made stacked placement above the obstacle. The flexible module
+	// is left at max width (dw = 0): per the secant model that is 4 wide
+	// (sqrt(8*2)) and 2 high.
+	envs := []geom.Rect{
+		geom.NewRect(0, 3, 3, 2),
+		geom.NewRect(3, 3, 4, 2),
+		geom.NewRect(0, 5, 4, 2),
+	}
+	hint := b.Hint(envs, []bool{false, false, false}, []float64{0, 0, 0})
+	res := milp.Solve(b.Model, milp.Options{MaxNodes: 1, Incumbent: hint})
+	if res.Status != milp.StatusFeasible && res.Status != milp.StatusOptimal {
+		t.Fatalf("hint did not produce an incumbent: %v", res.Status)
+	}
+	// The incumbent is at least as good as the hint's height (7).
+	if h := b.HeightOf(res.X); h > 7+1e-6 {
+		t.Fatalf("height %v worse than hint height 7", h)
+	}
+	// With a full solve the optimum packs everything in two levels.
+	resFull := milp.Solve(b.Model, milp.Options{Incumbent: hint})
+	if resFull.Status != milp.StatusOptimal {
+		t.Fatalf("full solve status %v", resFull.Status)
+	}
+	checkNoOverlap(t, b.Decode(resFull.X), spec.Obstacles)
+}
+
+func TestBuildErrors(t *testing.T) {
+	m := rigid("a", 3, 2, false)
+	if _, err := Build(&Spec{ChipWidth: 0, New: []NewModule{{Mod: &m}}}); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+	if _, err := Build(&Spec{ChipWidth: 5}); err == nil {
+		t.Fatal("expected error for no modules")
+	}
+	wide := rigid("w", 9, 1, false)
+	if _, err := Build(&Spec{ChipWidth: 5, New: []NewModule{{Mod: &wide}}}); err == nil {
+		t.Fatal("expected error for module wider than chip")
+	}
+	if _, err := Build(&Spec{ChipWidth: 5, New: []NewModule{{Mod: &m}}, Objective: AreaWire}); err == nil {
+		t.Fatal("expected error for AreaWire without connectivity")
+	}
+}
+
+func TestObjectiveLinearizationStrings(t *testing.T) {
+	if AreaOnly.String() != "area" || AreaWire.String() != "area+wire" {
+		t.Fatal("Objective strings")
+	}
+	if Secant.String() != "secant" || Tangent.String() != "tangent" {
+		t.Fatal("Linearization strings")
+	}
+}
+
+func TestDegenerateFlexibleRange(t *testing.T) {
+	// MinAspect == MaxAspect: flexible collapses to fixed dims.
+	m := flexible("f", 16, 1, 1)
+	spec := &Spec{ChipWidth: 10, New: []NewModule{{Index: 0, Mod: &m}}}
+	b, res := solveSpec(t, spec)
+	pls := b.Decode(res.X)
+	if math.Abs(pls[0].Env.W-4) > 1e-6 || math.Abs(pls[0].Env.H-4) > 1e-6 {
+		t.Fatalf("degenerate flexible = %v, want 4x4", pls[0].Env)
+	}
+}

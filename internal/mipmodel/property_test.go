@@ -1,0 +1,91 @@
+package mipmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"afp/internal/geom"
+	"afp/internal/milp"
+	"afp/internal/netlist"
+)
+
+// Randomized end-to-end property: build random small subproblems, solve
+// them, and assert the decoded placement invariants — no overlaps, inside
+// the chip, obstacles respected, flexible areas conserved.
+func TestRandomSpecsDecodeLegally(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		nNew := 2 + rng.Intn(3)
+		var mods []netlist.Module
+		for i := 0; i < nNew; i++ {
+			if rng.Intn(3) == 0 {
+				mods = append(mods, netlist.Module{
+					Name: fmt.Sprintf("f%d", i), Kind: netlist.Flexible,
+					Area:      4 + float64(rng.Intn(20)),
+					MinAspect: 0.4, MaxAspect: 2.5,
+				})
+			} else {
+				mods = append(mods, netlist.Module{
+					Name: fmt.Sprintf("r%d", i), Kind: netlist.Rigid,
+					W: 1 + float64(rng.Intn(5)), H: 1 + float64(rng.Intn(5)),
+					Rotatable: rng.Intn(2) == 0,
+				})
+			}
+		}
+		spec := &Spec{ChipWidth: 10 + float64(rng.Intn(8))}
+		for i := range mods {
+			spec.New = append(spec.New, NewModule{Index: i, Mod: &mods[i]})
+		}
+		// Random staircase obstacles on the floor.
+		if rng.Intn(2) == 0 {
+			x := 0.0
+			for x < spec.ChipWidth-2 && rng.Intn(3) != 0 {
+				w := 2 + float64(rng.Intn(4))
+				if x+w > spec.ChipWidth {
+					break
+				}
+				spec.Obstacles = append(spec.Obstacles,
+					geom.NewRect(x, 0, w, 1+float64(rng.Intn(4))))
+				x += w
+			}
+		}
+
+		b, err := Build(spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res := milp.Solve(b.Model, milp.Options{MaxNodes: 3000})
+		if res.X == nil {
+			t.Fatalf("trial %d: no solution (%v)", trial, res.Status)
+		}
+		pls := b.Decode(res.X)
+		envs := make([]geom.Rect, len(pls))
+		for i, p := range pls {
+			envs[i] = p.Env
+		}
+		if i, j, bad := geom.AnyOverlap(envs); bad {
+			t.Fatalf("trial %d: modules %d/%d overlap: %v %v", trial, i, j, envs[i], envs[j])
+		}
+		for i, p := range pls {
+			if p.Env.X < -1e-6 || p.Env.X2() > spec.ChipWidth+1e-6 || p.Env.Y < -1e-6 {
+				t.Fatalf("trial %d: module %d outside chip: %v", trial, i, p.Env)
+			}
+			for k, o := range spec.Obstacles {
+				if p.Env.Overlaps(o) {
+					t.Fatalf("trial %d: module %d overlaps obstacle %d", trial, i, k)
+				}
+			}
+			m := &mods[p.Index]
+			if m.Kind == netlist.Flexible {
+				if a := p.Mod.Area(); a < m.Area-1e-6 || a > m.Area+1e-6 {
+					t.Fatalf("trial %d: flexible area %v, want %v", trial, a, m.Area)
+				}
+			}
+			if b.HeightOf(res.X) < p.Env.Y2()-1e-6 {
+				t.Fatalf("trial %d: height %v below module top %v",
+					trial, b.HeightOf(res.X), p.Env.Y2())
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package mipmodel builds the mixed integer programming formulation of
+// Section 2 of Sutanthavibul, Shragowitz and Rosen (DAC 1990) for one
+// floorplanning subproblem: a group of new modules to be placed above a
+// partial floorplan represented by fixed covering rectangles.
+//
+// For every pair of placeable objects the non-overlap disjunction (2) is
+// encoded with two 0-1 variables; rigid modules may rotate via the
+// orientation binaries of (4)-(5); flexible modules use the linearized
+// area model of (6)-(8); and the objective is either the chip height
+// (equivalently chip area, the width being fixed) or chip height plus
+// estimated wirelength.
+package mipmodel
+
+import (
+	"fmt"
+
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+// Objective selects what the subproblem minimizes, matching the two
+// objective functions of Table 2.
+type Objective int
+
+// Objectives.
+const (
+	// AreaOnly minimizes the chip height y (the chip width being fixed,
+	// this minimizes chip area, constraints (3)).
+	AreaOnly Objective = iota
+	// AreaWire minimizes chip height plus WireWeight times the estimated
+	// total wirelength between connected placeable objects and anchors.
+	AreaWire
+)
+
+func (o Objective) String() string {
+	if o == AreaOnly {
+		return "area"
+	}
+	return "area+wire"
+}
+
+// Linearization selects how the h = S/w hyperbola of flexible modules is
+// approximated by a line (Figure 1 of the paper).
+type Linearization int
+
+// Linearization modes.
+const (
+	// Secant uses the chord through (w_min, h(w_min)) and (w_max, h(w_max)).
+	// Because h is convex, the chord lies above the curve on the whole
+	// interval, so the reserved box always contains the true module and the
+	// resulting floorplan is guaranteed overlap-free. This is the default.
+	Secant Linearization = iota
+	// Tangent uses the first-order Taylor expansion about w_max exactly as
+	// in the paper's equation (6)/(7). The tangent underestimates the true
+	// height away from the expansion point, which the paper compensates for
+	// in its final "adjust floorplan" step; callers using Tangent should
+	// re-linearize or adjust (see core.Floorplanner).
+	Tangent
+)
+
+func (l Linearization) String() string {
+	if l == Secant {
+		return "secant"
+	}
+	return "tangent"
+}
+
+// NewModule is one module to be placed by the subproblem.
+type NewModule struct {
+	// Index is the module's index in the original design, used for
+	// connectivity lookups and reporting.
+	Index int
+	// Mod is the module description.
+	Mod *netlist.Module
+	// PadW and PadH are envelope paddings added to the module's width and
+	// height in its initial orientation (Section 3.2): PadW accounts for
+	// pins on the east+west sides, PadH for pins on the north+south sides.
+	// When the module rotates, the paddings follow the dimensions.
+	PadW, PadH float64
+}
+
+// Anchor is the fixed generalized-pin position of an already-placed
+// module, kept for wirelength estimation after the module itself has been
+// absorbed into a covering rectangle.
+type Anchor struct {
+	Index int // design index of the placed module
+	X, Y  float64
+}
+
+// CriticalPair bounds the estimated Manhattan length between the centers
+// of two modules — the "additional constraints on the length of critical
+// nets" of Section 2.2 and the timing-delay objectives of the abstract.
+// A refers to a new module by design index; B refers either to another
+// new module or to an anchor, also by design index.
+type CriticalPair struct {
+	A, B   int
+	MaxLen float64
+}
+
+// Spec describes one successive-augmentation subproblem.
+type Spec struct {
+	// ChipWidth is the fixed chip width W of constraints (3).
+	ChipWidth float64
+	// MaxHeight is the bounding function H of constraints (2). When zero it
+	// defaults to the sum of all placeable heights plus the obstacle tops.
+	MaxHeight float64
+	// New lists the modules to place.
+	New []NewModule
+	// Obstacles are the covering rectangles of the partial floorplan.
+	Obstacles []geom.Rect
+	// Anchors are wirelength attachment points for already-placed modules.
+	Anchors []Anchor
+	// Conn returns the weighted common-net count between two design
+	// indices. May be nil when Objective is AreaOnly.
+	Conn func(a, b int) float64
+	// Objective selects the cost function.
+	Objective Objective
+	// WireWeight is the lambda multiplying the wirelength term of the
+	// AreaWire objective. Zero defaults to 0.05.
+	WireWeight float64
+	// Linearize selects the flexible-module approximation.
+	Linearize Linearization
+	// Gravity adds a tiny secondary objective pulling modules toward the
+	// bottom-left corner. Among the many equal-height optima of one
+	// augmentation step it selects dense, flat layouts, which matters
+	// because the step objective is greedy in the overall height. Zero
+	// defaults to 1e-3 (divided across the group); negative disables.
+	Gravity float64
+	// Critical lists hard bounds on net lengths between module centers
+	// (timing constraints). Pairs whose modules are not part of this
+	// subproblem are ignored; pairs between a new module and an absorbed
+	// placed module require a matching Anchors entry.
+	Critical []CriticalPair
+}
+
+// dims captures the linear expression of one placeable object's effective
+// width and height:
+//
+//	weff = wConst + wRot*rot - dw        (dw only for flexible modules)
+//	heff = hConst + hRot*rot + hSlope*dw
+type dims struct {
+	wConst, hConst float64
+	wRot, hRot     float64 // coefficient of the rotation binary
+	hSlope         float64 // height increase per unit of width decrease
+	dwMax          float64 // range of the width-decrease variable
+	rotatable      bool
+	flexible       bool
+}
+
+// moduleDims derives the linear dimension model of a module, including
+// envelope padding.
+func moduleDims(nm *NewModule, mode Linearization) (dims, error) {
+	m := nm.Mod
+	var d dims
+	switch m.Kind {
+	case netlist.Rigid:
+		w0 := m.W + nm.PadW
+		h0 := m.H + nm.PadH
+		d.wConst, d.hConst = w0, h0
+		if m.Rotatable && m.W != m.H {
+			// After rotation the horizontal extent is the original height plus
+			// the padding that now faces east/west (the former north/south
+			// padding), and symmetrically for the vertical extent.
+			w1 := m.H + nm.PadH
+			h1 := m.W + nm.PadW
+			d.wRot = w1 - w0
+			d.hRot = h1 - h0
+			d.rotatable = true
+		}
+	case netlist.Flexible:
+		wmin, wmax := m.WidthRange()
+		if wmax-wmin < 1e-12 {
+			d.wConst = wmin + nm.PadW
+			d.hConst = m.HeightFor(wmin) + nm.PadH
+			break
+		}
+		d.flexible = true
+		d.dwMax = wmax - wmin
+		hAtMax := m.Area / wmax
+		hAtMin := m.Area / wmin
+		d.wConst = wmax + nm.PadW
+		d.hConst = hAtMax + nm.PadH
+		switch mode {
+		case Tangent:
+			// Equation (6)/(7): first-order Taylor expansion about w_max.
+			d.hSlope = m.Area / (wmax * wmax)
+		default:
+			// Secant: exact at both interval endpoints, conservative between.
+			d.hSlope = (hAtMin - hAtMax) / (wmax - wmin)
+		}
+	default:
+		return d, fmt.Errorf("mipmodel: module %q has unknown kind", m.Name)
+	}
+	if d.wConst <= 0 || d.hConst <= 0 {
+		return d, fmt.Errorf("mipmodel: module %q has non-positive effective dimensions", m.Name)
+	}
+	return d, nil
+}
+
+// maxWidth returns the largest effective width the object can take.
+func (d dims) maxWidth() float64 {
+	w := d.wConst
+	if d.rotatable && d.wRot > 0 {
+		w += d.wRot
+	}
+	return w
+}
+
+// minWidth returns the smallest effective width the object can take.
+func (d dims) minWidth() float64 {
+	w := d.wConst
+	if d.rotatable && d.wRot < 0 {
+		w += d.wRot
+	}
+	if d.flexible {
+		w -= d.dwMax
+	}
+	return w
+}
+
+// maxHeight returns the largest effective height the object can take.
+func (d dims) maxHeight() float64 {
+	h := d.hConst
+	if d.rotatable && d.hRot > 0 {
+		h += d.hRot
+	}
+	if d.flexible {
+		h += d.hSlope * d.dwMax
+	}
+	return h
+}
+
+// defaultMaxHeight computes a safe bounding function H for the
+// disjunctive constraints when the caller does not supply one.
+func (s *Spec) defaultMaxHeight(ds []dims) float64 {
+	h := 0.0
+	for _, r := range s.Obstacles {
+		if t := r.Y2(); t > h {
+			h = t
+		}
+	}
+	for _, d := range ds {
+		h += d.maxHeight()
+	}
+	if h <= 0 {
+		h = 1
+	}
+	return h
+}

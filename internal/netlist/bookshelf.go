@@ -1,0 +1,280 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Bookshelf support: the GSRC/UCLA "bookshelf" floorplanning format
+// (.blocks/.nets file pairs) is the de-facto interchange format for the
+// MCNC and GSRC benchmark suites the paper's ami33 belongs to. Soft
+// rectangular blocks map to Flexible modules, 4-corner hard rectilinear
+// blocks to Rigid modules; terminals (pads) are parsed and dropped from
+// nets, since this library floorplans core blocks only.
+
+// ParseBookshelf reads a .blocks and a .nets stream and assembles a
+// Design.
+func ParseBookshelf(name string, blocks, nets io.Reader) (*Design, error) {
+	d := &Design{Name: name}
+	terminals := map[string]bool{}
+	if err := parseBookshelfBlocks(blocks, d, terminals); err != nil {
+		return nil, err
+	}
+	if nets != nil {
+		if err := parseBookshelfNets(nets, d, terminals); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func bookshelfLines(r io.Reader, visit func(lineNo int, fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if lineNo == 1 || strings.HasPrefix(line, "UCSC") || strings.HasPrefix(line, "UCLA") {
+			// Format header.
+			if strings.Contains(line, "blocks") || strings.Contains(line, "nets") || strings.Contains(line, "pl") {
+				continue
+			}
+		}
+		if err := visit(lineNo, strings.Fields(line)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// headerCount parses "NumX : N" style lines; returns (n, true) on match.
+func headerCount(fields []string, key string) (int, bool) {
+	if len(fields) >= 3 && fields[0] == key && fields[1] == ":" {
+		n, err := strconv.Atoi(fields[2])
+		if err == nil {
+			return n, true
+		}
+	}
+	// Also accept "NumX:N" and "NumX: N".
+	if len(fields) >= 1 && strings.HasPrefix(fields[0], key) {
+		rest := strings.TrimPrefix(fields[0], key)
+		rest = strings.TrimPrefix(rest, ":")
+		if rest == "" && len(fields) >= 2 {
+			rest = strings.TrimPrefix(fields[1], ":")
+			if rest == "" && len(fields) >= 3 {
+				rest = fields[2]
+			}
+		}
+		if n, err := strconv.Atoi(rest); err == nil {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+func parseBookshelfBlocks(r io.Reader, d *Design, terminals map[string]bool) error {
+	return bookshelfLines(r, func(lineNo int, f []string) error {
+		for _, key := range []string{"NumSoftRectangularBlocks", "NumHardRectilinearBlocks", "NumTerminals"} {
+			if _, ok := headerCount(f, key); ok {
+				return nil
+			}
+		}
+		if len(f) < 2 {
+			return fmt.Errorf("netlist: blocks line %d: too short", lineNo)
+		}
+		name, kind := f[0], f[1]
+		switch kind {
+		case "softrectangular":
+			if len(f) < 5 {
+				return fmt.Errorf("netlist: blocks line %d: softrectangular needs AREA MIN MAX", lineNo)
+			}
+			area, err1 := strconv.ParseFloat(f[2], 64)
+			minA, err2 := strconv.ParseFloat(f[3], 64)
+			maxA, err3 := strconv.ParseFloat(f[4], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("netlist: blocks line %d: bad number", lineNo)
+			}
+			d.Modules = append(d.Modules, Module{
+				Name: name, Kind: Flexible, Area: area, MinAspect: minA, MaxAspect: maxA,
+			})
+		case "hardrectilinear":
+			// NAME hardrectilinear K (x1, y1) (x2, y2) ... — only rectangles
+			// (K == 4) are supported.
+			if len(f) < 3 {
+				return fmt.Errorf("netlist: blocks line %d: hardrectilinear needs corner count", lineNo)
+			}
+			k, err := strconv.Atoi(f[2])
+			if err != nil {
+				return fmt.Errorf("netlist: blocks line %d: bad corner count %q", lineNo, f[2])
+			}
+			if k != 4 {
+				return fmt.Errorf("netlist: blocks line %d: block %q has %d corners; only rectangles are supported", lineNo, name, k)
+			}
+			xs, ys, err := parseCorners(strings.Join(f[3:], " "))
+			if err != nil {
+				return fmt.Errorf("netlist: blocks line %d: %v", lineNo, err)
+			}
+			w := maxF(xs) - minF(xs)
+			h := maxF(ys) - minF(ys)
+			d.Modules = append(d.Modules, Module{
+				Name: name, Kind: Rigid, W: w, H: h, Rotatable: true,
+			})
+		case "terminal":
+			terminals[name] = true
+		default:
+			return fmt.Errorf("netlist: blocks line %d: unknown block kind %q", lineNo, kind)
+		}
+		return nil
+	})
+}
+
+// parseCorners parses "(x, y) (x, y) ..." corner lists.
+func parseCorners(s string) (xs, ys []float64, err error) {
+	s = strings.NewReplacer("(", " ", ")", " ", ",", " ").Replace(s)
+	f := strings.Fields(s)
+	if len(f)%2 != 0 || len(f) == 0 {
+		return nil, nil, fmt.Errorf("bad corner list %q", s)
+	}
+	for i := 0; i < len(f); i += 2 {
+		x, err1 := strconv.ParseFloat(f[i], 64)
+		y, err2 := strconv.ParseFloat(f[i+1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, nil, fmt.Errorf("bad corner coordinates %q %q", f[i], f[i+1])
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys, nil
+}
+
+func parseBookshelfNets(r io.Reader, d *Design, terminals map[string]bool) error {
+	var current *Net
+	expect := 0
+	netNo := 0
+	err := bookshelfLines(r, func(lineNo int, f []string) error {
+		if _, ok := headerCount(f, "NumNets"); ok {
+			return nil
+		}
+		if _, ok := headerCount(f, "NumPins"); ok {
+			return nil
+		}
+		if n, ok := headerCount(f, "NetDegree"); ok {
+			flushBookshelfNet(d, current)
+			netNo++
+			name := fmt.Sprintf("n%d", netNo)
+			// "NetDegree : K NAME" names the net explicitly.
+			if len(f) >= 4 && f[1] == ":" {
+				name = f[3]
+			}
+			current = &Net{Name: name, Weight: 1}
+			expect = n
+			return nil
+		}
+		if current == nil {
+			return fmt.Errorf("netlist: nets line %d: pin before NetDegree", lineNo)
+		}
+		pin := f[0]
+		if terminals[pin] {
+			return nil // pads are dropped; see package comment
+		}
+		idx := d.ModuleIndex(pin)
+		if idx < 0 {
+			return fmt.Errorf("netlist: nets line %d: unknown block %q", lineNo, pin)
+		}
+		for _, m := range current.Modules {
+			if m == idx {
+				return nil // repeated pin on the same block collapses
+			}
+		}
+		current.Modules = append(current.Modules, idx)
+		_ = expect
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	flushBookshelfNet(d, current)
+	return nil
+}
+
+func flushBookshelfNet(d *Design, n *Net) {
+	if n != nil && len(n.Modules) >= 2 {
+		d.Nets = append(d.Nets, *n)
+	}
+}
+
+// WriteBookshelf writes the design as a .blocks/.nets pair.
+func (d *Design) WriteBookshelf(blocks, nets io.Writer) error {
+	bw := bufio.NewWriter(blocks)
+	fmt.Fprintf(bw, "UCSC blocks 1.0\n\n")
+	soft, hard := 0, 0
+	for i := range d.Modules {
+		if d.Modules[i].Kind == Flexible {
+			soft++
+		} else {
+			hard++
+		}
+	}
+	fmt.Fprintf(bw, "NumSoftRectangularBlocks : %d\n", soft)
+	fmt.Fprintf(bw, "NumHardRectilinearBlocks : %d\n", hard)
+	fmt.Fprintf(bw, "NumTerminals : 0\n\n")
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		switch m.Kind {
+		case Flexible:
+			fmt.Fprintf(bw, "%s softrectangular %g %g %g\n", m.Name, m.Area, m.MinAspect, m.MaxAspect)
+		default:
+			fmt.Fprintf(bw, "%s hardrectilinear 4 (0, 0) (0, %g) (%g, %g) (%g, 0)\n",
+				m.Name, m.H, m.W, m.H, m.W)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	nw := bufio.NewWriter(nets)
+	fmt.Fprintf(nw, "UCLA nets 1.0\n\n")
+	pins := 0
+	for _, n := range d.Nets {
+		pins += len(n.Modules)
+	}
+	fmt.Fprintf(nw, "NumNets : %d\n", len(d.Nets))
+	fmt.Fprintf(nw, "NumPins : %d\n\n", pins)
+	for _, n := range d.Nets {
+		fmt.Fprintf(nw, "NetDegree : %d %s\n", len(n.Modules), n.Name)
+		for _, mi := range n.Modules {
+			fmt.Fprintf(nw, "%s B\n", d.Modules[mi].Name)
+		}
+	}
+	return nw.Flush()
+}
+
+func minF(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxF(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

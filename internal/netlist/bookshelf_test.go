@@ -1,0 +1,124 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBlocks = `UCSC blocks 1.0
+# a comment
+
+NumSoftRectangularBlocks : 2
+NumHardRectilinearBlocks : 2
+NumTerminals : 1
+
+sb0 softrectangular 6000 0.5 2.0
+sb1 softrectangular 1200 0.333 3.0
+bk1 hardrectilinear 4 (0, 0) (0, 133) (336, 133) (336, 0)
+bk2 hardrectilinear 4 (0, 0) (0, 10) (20, 10) (20, 0)
+p1 terminal
+`
+
+const sampleNets = `UCLA nets 1.0
+
+NumNets : 3
+NumPins : 7
+
+NetDegree : 3 busA
+sb0 B
+bk1 B
+p1 B
+NetDegree : 2
+sb1 B
+bk2 B
+NetDegree : 2
+p1 B
+bk1 B
+`
+
+func TestParseBookshelf(t *testing.T) {
+	d, err := ParseBookshelf("demo", strings.NewReader(sampleBlocks), strings.NewReader(sampleNets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Modules) != 4 {
+		t.Fatalf("modules = %d, want 4 (terminal dropped)", len(d.Modules))
+	}
+	sb0 := d.Modules[d.ModuleIndex("sb0")]
+	if sb0.Kind != Flexible || sb0.Area != 6000 || sb0.MinAspect != 0.5 || sb0.MaxAspect != 2 {
+		t.Fatalf("sb0 parsed wrong: %+v", sb0)
+	}
+	bk1 := d.Modules[d.ModuleIndex("bk1")]
+	if bk1.Kind != Rigid || bk1.W != 336 || bk1.H != 133 || !bk1.Rotatable {
+		t.Fatalf("bk1 parsed wrong: %+v", bk1)
+	}
+	// Net 1 keeps 2 core pins (terminal dropped); net 3 collapses to one
+	// pin and is discarded.
+	if len(d.Nets) != 2 {
+		t.Fatalf("nets = %d, want 2: %+v", len(d.Nets), d.Nets)
+	}
+	if d.Nets[0].Name != "busA" || len(d.Nets[0].Modules) != 2 {
+		t.Fatalf("busA parsed wrong: %+v", d.Nets[0])
+	}
+}
+
+func TestParseBookshelfErrors(t *testing.T) {
+	cases := []struct{ blocks, nets string }{
+		{"b1 hardrectilinear 6 (0,0) (0,1) (1,1) (1,2) (2,2) (2,0)", ""}, // non-rectangle
+		{"b1 weird 1 2", ""},                           // unknown kind
+		{"b1 softrectangular 10 0.5", ""},              // short soft
+		{"b1 hardrectilinear x", ""},                   // bad corner count
+		{sampleBlocks, "NetDegree : 2 n\nzz B\nsb0 B"}, // unknown block in net
+		{sampleBlocks, "sb0 B"},                        // pin before NetDegree
+	}
+	for i, c := range cases {
+		nets := strings.NewReader(c.nets)
+		var netsReader = nets
+		_, err := ParseBookshelf("x", strings.NewReader(c.blocks), netsReader)
+		if err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestBookshelfRoundTrip(t *testing.T) {
+	d := AMI33()
+	var blocks, nets bytes.Buffer
+	if err := d.WriteBookshelf(&blocks, &nets); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseBookshelf(d.Name, &blocks, &nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Modules) != len(d.Modules) {
+		t.Fatalf("modules %d != %d", len(d2.Modules), len(d.Modules))
+	}
+	if len(d2.Nets) != len(d.Nets) {
+		t.Fatalf("nets %d != %d", len(d2.Nets), len(d.Nets))
+	}
+	// Areas survive; hard blocks may normalize orientation but keep dims.
+	for i := range d.Modules {
+		a, b := d.Modules[i].ModuleArea(), d2.Modules[i].ModuleArea()
+		if diff := a - b; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("module %d area %v != %v", i, a, b)
+		}
+	}
+	// Net membership survives.
+	for i := range d.Nets {
+		if len(d.Nets[i].Modules) != len(d2.Nets[i].Modules) {
+			t.Fatalf("net %d degree %d != %d", i, len(d.Nets[i].Modules), len(d2.Nets[i].Modules))
+		}
+	}
+}
+
+func TestParseBookshelfBlocksOnly(t *testing.T) {
+	d, err := ParseBookshelf("demo", strings.NewReader(sampleBlocks), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Modules) != 4 || len(d.Nets) != 0 {
+		t.Fatalf("blocks-only parse: %d modules, %d nets", len(d.Modules), len(d.Nets))
+	}
+}

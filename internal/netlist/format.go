@@ -1,0 +1,200 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line-oriented:
+//
+//	# comment
+//	design NAME
+//	module NAME rigid W H [rot] [pins N E S W]
+//	module NAME flexible AREA MIN_ASPECT MAX_ASPECT [pins N E S W]
+//	net NAME [critical] [weight X] MODULE MODULE...
+//
+// Module references in net lines are by name and must appear after the
+// modules they mention.
+
+// Parse reads a design from r.
+func Parse(r io.Reader) (*Design, error) {
+	d := &Design{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "design":
+			if len(fields) != 2 {
+				return nil, parseErr(lineNo, "design line needs exactly one name")
+			}
+			d.Name = fields[1]
+		case "module":
+			m, err := parseModule(fields[1:])
+			if err != nil {
+				return nil, parseErr(lineNo, err.Error())
+			}
+			d.Modules = append(d.Modules, m)
+		case "net":
+			n, err := parseNet(fields[1:], d)
+			if err != nil {
+				return nil, parseErr(lineNo, err.Error())
+			}
+			d.Nets = append(d.Nets, n)
+		default:
+			return nil, parseErr(lineNo, fmt.Sprintf("unknown directive %q", fields[0]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func parseErr(line int, msg string) error {
+	return fmt.Errorf("netlist: line %d: %s", line, msg)
+}
+
+func parseModule(f []string) (Module, error) {
+	var m Module
+	if len(f) < 2 {
+		return m, fmt.Errorf("module line too short")
+	}
+	m.Name = f[0]
+	rest := f[2:]
+	switch f[1] {
+	case "rigid":
+		m.Kind = Rigid
+		if len(rest) < 2 {
+			return m, fmt.Errorf("rigid module needs W H")
+		}
+		var err error
+		if m.W, err = strconv.ParseFloat(rest[0], 64); err != nil {
+			return m, fmt.Errorf("bad width %q", rest[0])
+		}
+		if m.H, err = strconv.ParseFloat(rest[1], 64); err != nil {
+			return m, fmt.Errorf("bad height %q", rest[1])
+		}
+		rest = rest[2:]
+		if len(rest) > 0 && rest[0] == "rot" {
+			m.Rotatable = true
+			rest = rest[1:]
+		}
+	case "flexible":
+		m.Kind = Flexible
+		if len(rest) < 3 {
+			return m, fmt.Errorf("flexible module needs AREA MIN_ASPECT MAX_ASPECT")
+		}
+		var err error
+		if m.Area, err = strconv.ParseFloat(rest[0], 64); err != nil {
+			return m, fmt.Errorf("bad area %q", rest[0])
+		}
+		if m.MinAspect, err = strconv.ParseFloat(rest[1], 64); err != nil {
+			return m, fmt.Errorf("bad min aspect %q", rest[1])
+		}
+		if m.MaxAspect, err = strconv.ParseFloat(rest[2], 64); err != nil {
+			return m, fmt.Errorf("bad max aspect %q", rest[2])
+		}
+		rest = rest[3:]
+	default:
+		return m, fmt.Errorf("unknown module kind %q", f[1])
+	}
+	if len(rest) > 0 {
+		if rest[0] != "pins" || len(rest) != 5 {
+			return m, fmt.Errorf("trailing fields must be: pins N E S W")
+		}
+		for i := 0; i < 4; i++ {
+			p, err := strconv.Atoi(rest[1+i])
+			if err != nil || p < 0 {
+				return m, fmt.Errorf("bad pin count %q", rest[1+i])
+			}
+			m.Pins[i] = p
+		}
+	}
+	return m, nil
+}
+
+func parseNet(f []string, d *Design) (Net, error) {
+	var n Net
+	if len(f) < 1 {
+		return n, fmt.Errorf("net line too short")
+	}
+	n.Name = f[0]
+	n.Weight = 1
+	rest := f[1:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "critical":
+			n.Critical = true
+			rest = rest[1:]
+		case "weight":
+			if len(rest) < 2 {
+				return n, fmt.Errorf("weight needs a value")
+			}
+			w, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil {
+				return n, fmt.Errorf("bad weight %q", rest[1])
+			}
+			n.Weight = w
+			rest = rest[2:]
+		default:
+			idx := d.ModuleIndex(rest[0])
+			if idx < 0 {
+				return n, fmt.Errorf("net %q references unknown module %q", n.Name, rest[0])
+			}
+			n.Modules = append(n.Modules, idx)
+			rest = rest[1:]
+		}
+	}
+	return n, nil
+}
+
+// Write serializes the design in the text format accepted by Parse.
+func (d *Design) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if d.Name != "" {
+		fmt.Fprintf(bw, "design %s\n", d.Name)
+	}
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		switch m.Kind {
+		case Rigid:
+			fmt.Fprintf(bw, "module %s rigid %g %g", m.Name, m.W, m.H)
+			if m.Rotatable {
+				fmt.Fprint(bw, " rot")
+			}
+		case Flexible:
+			fmt.Fprintf(bw, "module %s flexible %g %g %g", m.Name, m.Area, m.MinAspect, m.MaxAspect)
+		}
+		if m.PinTotal() > 0 {
+			fmt.Fprintf(bw, " pins %d %d %d %d", m.Pins[0], m.Pins[1], m.Pins[2], m.Pins[3])
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, n := range d.Nets {
+		fmt.Fprintf(bw, "net %s", n.Name)
+		if n.Critical {
+			fmt.Fprint(bw, " critical")
+		}
+		if n.Weight != 1 && n.Weight != 0 {
+			fmt.Fprintf(bw, " weight %g", n.Weight)
+		}
+		for _, mi := range n.Modules {
+			fmt.Fprintf(bw, " %s", d.Modules[mi].Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,56 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the text parser never panics and that everything it
+// accepts survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("design d\nmodule a rigid 1 2\nmodule b flexible 4 0.5 2\nnet n a b\n")
+	f.Add("module a rigid 4 5 rot pins 1 2 3 4\n")
+	f.Add("# comment only\n")
+	f.Add("module a rigid x y\n")
+	f.Add("net n a b\n")
+	f.Add("design\n")
+	f.Add(strings.Repeat("module m rigid 1 1\n", 3))
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			t.Fatalf("Write failed on accepted design: %v", err)
+		}
+		d2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, buf.String())
+		}
+		if len(d2.Modules) != len(d.Modules) || len(d2.Nets) != len(d.Nets) {
+			t.Fatalf("round trip changed shape: %d/%d modules, %d/%d nets",
+				len(d.Modules), len(d2.Modules), len(d.Nets), len(d2.Nets))
+		}
+	})
+}
+
+// FuzzParseBookshelfBlocks ensures the bookshelf blocks parser never
+// panics on arbitrary input.
+func FuzzParseBookshelfBlocks(f *testing.F) {
+	f.Add(sampleBlocks)
+	f.Add("b hardrectilinear 4 (0, 0) (0, 1) (1, 1) (1, 0)")
+	f.Add("b hardrectilinear 4 (0 0")
+	f.Add("b softrectangular 1 2 3")
+	f.Add("NumTerminals : -1")
+	f.Fuzz(func(t *testing.T, blocks string) {
+		d, err := ParseBookshelf("f", strings.NewReader(blocks), nil)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted invalid design: %v", err)
+		}
+	})
+}

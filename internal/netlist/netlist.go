@@ -1,0 +1,216 @@
+// Package netlist defines the input data model of the floorplanner:
+// modules (rigid or flexible), nets with per-side pin information, and a
+// small text format for reading and writing designs. It also provides
+// deterministic benchmark generators standing in for the MCNC Physical
+// Design Workshop 1988 data used in the paper (see AMI33 and Random).
+package netlist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes rigid modules (fixed dimensions, optionally
+// rotatable by 90 degrees) from flexible modules (fixed area, variable
+// aspect ratio), following Section 2.2 of the paper.
+type Kind int
+
+// Module kinds.
+const (
+	Rigid Kind = iota
+	Flexible
+)
+
+func (k Kind) String() string {
+	if k == Rigid {
+		return "rigid"
+	}
+	return "flexible"
+}
+
+// Side identifies one side of a module for generalized-pin purposes.
+// The paper's routing model (Section 3.2) places one generalized pin on
+// each side of a module, weighted by the number of real pins there.
+type Side int
+
+// Module sides in storage order.
+const (
+	North Side = iota
+	East
+	South
+	West
+)
+
+func (s Side) String() string { return [...]string{"north", "east", "south", "west"}[s] }
+
+// Module is one circuit block to be placed.
+type Module struct {
+	Name string
+	Kind Kind
+
+	// Rigid modules: fixed dimensions and rotation permission.
+	W, H      float64
+	Rotatable bool
+
+	// Flexible modules: fixed area S = w*h and aspect-ratio bounds
+	// MinAspect <= w/h <= MaxAspect (the b_i and a_i of Section 2.2).
+	Area      float64
+	MinAspect float64
+	MaxAspect float64
+
+	// Pins holds the pin count on each side, indexed by Side.
+	Pins [4]int
+}
+
+// ModuleArea returns the area of the module regardless of kind.
+func (m *Module) ModuleArea() float64 {
+	if m.Kind == Rigid {
+		return m.W * m.H
+	}
+	return m.Area
+}
+
+// WidthRange returns the feasible width interval of the module. For a
+// rigid module the range is degenerate (or covers both orientations when
+// rotatable); for a flexible module it follows from the aspect bounds:
+// w = sqrt(S * aspect).
+func (m *Module) WidthRange() (wmin, wmax float64) {
+	if m.Kind == Rigid {
+		if m.Rotatable {
+			return math.Min(m.W, m.H), math.Max(m.W, m.H)
+		}
+		return m.W, m.W
+	}
+	return math.Sqrt(m.Area * m.MinAspect), math.Sqrt(m.Area * m.MaxAspect)
+}
+
+// HeightFor returns the height of a flexible module at width w.
+func (m *Module) HeightFor(w float64) float64 {
+	if m.Kind == Rigid {
+		return m.H
+	}
+	return m.Area / w
+}
+
+// PinTotal returns the module's total pin count.
+func (m *Module) PinTotal() int {
+	return m.Pins[North] + m.Pins[East] + m.Pins[South] + m.Pins[West]
+}
+
+// Net is a set of modules to be electrically connected. Critical nets are
+// routed first by the global router, following [YOU89] as cited in
+// Section 3.2 of the paper.
+type Net struct {
+	Name     string
+	Modules  []int // indices into Design.Modules
+	Weight   float64
+	Critical bool
+}
+
+// Design is a complete floorplanning instance.
+type Design struct {
+	Name    string
+	Modules []Module
+	Nets    []Net
+}
+
+// TotalArea returns the sum of all module areas.
+func (d *Design) TotalArea() float64 {
+	var s float64
+	for i := range d.Modules {
+		s += d.Modules[i].ModuleArea()
+	}
+	return s
+}
+
+// Connectivity returns the symmetric matrix c of weighted common-net
+// counts: c[i][j] is the sum over nets containing both i and j of the net
+// weight (the c_ij of Section 2.2).
+func (d *Design) Connectivity() [][]float64 {
+	n := len(d.Modules)
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, n)
+	}
+	for _, net := range d.Nets {
+		w := net.Weight
+		if w == 0 {
+			w = 1
+		}
+		for a := 0; a < len(net.Modules); a++ {
+			for b := a + 1; b < len(net.Modules); b++ {
+				i, j := net.Modules[a], net.Modules[b]
+				if i == j {
+					continue
+				}
+				c[i][j] += w
+				c[j][i] += w
+			}
+		}
+	}
+	return c
+}
+
+// ModuleIndex returns the index of the module with the given name, or -1.
+func (d *Design) ModuleIndex(name string) int {
+	for i := range d.Modules {
+		if d.Modules[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural consistency of the design.
+func (d *Design) Validate() error {
+	seen := make(map[string]bool, len(d.Modules))
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		if m.Name == "" {
+			return fmt.Errorf("netlist: module %d has no name", i)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("netlist: duplicate module name %q", m.Name)
+		}
+		seen[m.Name] = true
+		switch m.Kind {
+		case Rigid:
+			if m.W <= 0 || m.H <= 0 {
+				return fmt.Errorf("netlist: rigid module %q has non-positive dimensions %gx%g", m.Name, m.W, m.H)
+			}
+		case Flexible:
+			if m.Area <= 0 {
+				return fmt.Errorf("netlist: flexible module %q has non-positive area %g", m.Name, m.Area)
+			}
+			if m.MinAspect <= 0 || m.MaxAspect < m.MinAspect {
+				return fmt.Errorf("netlist: flexible module %q has invalid aspect bounds [%g, %g]", m.Name, m.MinAspect, m.MaxAspect)
+			}
+		default:
+			return fmt.Errorf("netlist: module %q has unknown kind %d", m.Name, m.Kind)
+		}
+		for s, p := range m.Pins {
+			if p < 0 {
+				return fmt.Errorf("netlist: module %q has negative pin count on side %v", m.Name, Side(s))
+			}
+		}
+	}
+	for i, net := range d.Nets {
+		if len(net.Modules) < 2 {
+			return fmt.Errorf("netlist: net %q (#%d) connects fewer than two modules", net.Name, i)
+		}
+		if net.Weight < 0 {
+			return fmt.Errorf("netlist: net %q has negative weight", net.Name)
+		}
+		inNet := make(map[int]bool, len(net.Modules))
+		for _, mi := range net.Modules {
+			if mi < 0 || mi >= len(d.Modules) {
+				return fmt.Errorf("netlist: net %q references module index %d out of range", net.Name, mi)
+			}
+			if inNet[mi] {
+				return fmt.Errorf("netlist: net %q references module %d twice", net.Name, mi)
+			}
+			inNet[mi] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Package order provides the module-selection orders used by successive
+// augmentation (Section 4, Series 2 of the paper): a connectivity-driven
+// linear ordering in the spirit of Kang's linear ordering [KAN83], and a
+// seeded random ordering used as the baseline selection rule.
+package order
+
+import (
+	"math/rand"
+
+	"afp/internal/netlist"
+)
+
+// Linear computes a connectivity-based linear ordering of the design's
+// modules: it seeds with the most-connected module and greedily appends
+// the unplaced module with the strongest attraction to the already-placed
+// set, breaking ties toward modules with smaller remaining (outside)
+// connectivity and then by index for determinism. This is the "linear
+// ordering based on connectivity" selection algorithm of Table 2.
+func Linear(d *netlist.Design) []int {
+	n := len(d.Modules)
+	if n == 0 {
+		return nil
+	}
+	c := d.Connectivity()
+	total := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			total[i] += c[i][j]
+		}
+	}
+
+	// Seed: the module with maximum total connectivity.
+	seed := 0
+	for i := 1; i < n; i++ {
+		if total[i] > total[seed] {
+			seed = i
+		}
+	}
+
+	placed := make([]bool, n)
+	attract := make([]float64, n) // connectivity to placed set
+	order := make([]int, 0, n)
+	place := func(i int) {
+		placed[i] = true
+		order = append(order, i)
+		for j := 0; j < n; j++ {
+			if !placed[j] {
+				attract[j] += c[i][j]
+			}
+		}
+	}
+	place(seed)
+	for len(order) < n {
+		best := -1
+		for j := 0; j < n; j++ {
+			if placed[j] {
+				continue
+			}
+			if best < 0 {
+				best = j
+				continue
+			}
+			switch {
+			case attract[j] > attract[best]:
+				best = j
+			case attract[j] == attract[best]:
+				// Tie-break: prefer the module whose remaining outside
+				// connectivity is smaller (it is "finished" sooner), then the
+				// lower index.
+				outJ := total[j] - attract[j]
+				outB := total[best] - attract[best]
+				if outJ < outB {
+					best = j
+				}
+			}
+		}
+		place(best)
+	}
+	return order
+}
+
+// Random returns a seeded uniformly random permutation of the module
+// indices — the "random" selection algorithm of Table 2.
+func Random(d *netlist.Design, seed int64) []int {
+	n := len(d.Modules)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}

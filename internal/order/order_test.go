@@ -1,0 +1,148 @@
+package order
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"afp/internal/netlist"
+)
+
+func chain(n int) *netlist.Design {
+	// A chain design: m0-m1, m1-m2, ..., so linear ordering should emit a
+	// contiguous walk.
+	d := &netlist.Design{Modules: make([]netlist.Module, n)}
+	for i := range d.Modules {
+		d.Modules[i] = netlist.Module{Name: string(rune('a' + i)), Kind: netlist.Rigid, W: 1, H: 1}
+	}
+	for i := 0; i+1 < n; i++ {
+		d.Nets = append(d.Nets, netlist.Net{Name: "n", Modules: []int{i, i + 1}, Weight: 1})
+	}
+	return d
+}
+
+func isPermutation(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	s := append([]int(nil), order...)
+	sort.Ints(s)
+	for i, v := range s {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLinearIsPermutation(t *testing.T) {
+	d := netlist.AMI33()
+	ord := Linear(d)
+	if !isPermutation(ord, len(d.Modules)) {
+		t.Fatalf("not a permutation: %v", ord)
+	}
+}
+
+func TestLinearChainIsContiguous(t *testing.T) {
+	d := chain(7)
+	ord := Linear(d)
+	if !isPermutation(ord, 7) {
+		t.Fatalf("not a permutation: %v", ord)
+	}
+	// Every prefix of the ordering must induce a connected subchain: the
+	// newly added module is adjacent to the placed interval.
+	lo, hi := ord[0], ord[0]
+	for _, m := range ord[1:] {
+		if m != lo-1 && m != hi+1 {
+			t.Fatalf("module %d not adjacent to placed interval [%d,%d] in %v", m, lo, hi, ord)
+		}
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+}
+
+func TestLinearDeterministic(t *testing.T) {
+	d := netlist.AMI33()
+	if !reflect.DeepEqual(Linear(d), Linear(d)) {
+		t.Fatal("Linear not deterministic")
+	}
+}
+
+func TestLinearEmptyAndSingle(t *testing.T) {
+	if got := Linear(&netlist.Design{}); got != nil {
+		t.Fatalf("empty design order = %v", got)
+	}
+	d := &netlist.Design{Modules: []netlist.Module{{Name: "a", Kind: netlist.Rigid, W: 1, H: 1}}}
+	if got := Linear(d); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single module order = %v", got)
+	}
+}
+
+func TestLinearNoNets(t *testing.T) {
+	d := &netlist.Design{Modules: make([]netlist.Module, 5)}
+	ord := Linear(d)
+	if !isPermutation(ord, 5) {
+		t.Fatalf("not a permutation: %v", ord)
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	d := netlist.AMI33()
+	o1 := Random(d, 1)
+	o2 := Random(d, 1)
+	o3 := Random(d, 2)
+	if !isPermutation(o1, 33) {
+		t.Fatalf("not a permutation: %v", o1)
+	}
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatal("Random not deterministic for equal seeds")
+	}
+	if reflect.DeepEqual(o1, o3) {
+		t.Fatal("Random identical across seeds")
+	}
+}
+
+// Linear ordering should beat random ordering on the metric it optimizes:
+// the total connectivity "cut" between each prefix and its complement,
+// summed over prefixes (smaller is better for successive augmentation).
+func TestLinearBeatsRandomOnPrefixCut(t *testing.T) {
+	d := netlist.AMI33()
+	c := d.Connectivity()
+	cutSum := func(ord []int) float64 {
+		n := len(ord)
+		inPrefix := make([]bool, n)
+		var total, cut float64
+		for _, m := range ord {
+			// Adding m to the prefix: edges from m to unplaced join the cut,
+			// edges from m to placed leave it.
+			inPrefix[m] = true
+			for j := 0; j < n; j++ {
+				if j == m {
+					continue
+				}
+				if inPrefix[j] {
+					cut -= c[m][j]
+				} else {
+					cut += c[m][j]
+				}
+			}
+			total += cut
+		}
+		return total
+	}
+	lin := cutSum(Linear(d))
+	worseCount := 0
+	const trials = 10
+	for s := int64(0); s < trials; s++ {
+		if cutSum(Random(d, s)) <= lin {
+			worseCount++
+		}
+	}
+	if worseCount > 2 {
+		t.Fatalf("linear ordering (cut %v) beaten by %d/%d random orders", lin, worseCount, trials)
+	}
+}

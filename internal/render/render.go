@@ -1,0 +1,132 @@
+// Package render draws floorplans as SVG and ASCII, reproducing the
+// floorplan figures of the paper (Figure 5: the placed ami33 chip,
+// Figure 6: the final floorplan with routing space).
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"afp/internal/core"
+	"afp/internal/route"
+)
+
+// palette cycles fill colors for modules.
+var palette = []string{
+	"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+	"#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f",
+}
+
+// SVG writes the floorplan as a standalone SVG document. Envelopes are
+// drawn as dashed outlines when they differ from the module proper.
+func SVG(w io.Writer, r *core.Result) error {
+	return SVGWithRoutes(w, r, nil)
+}
+
+// SVGWithRoutes writes the floorplan plus, when rt is non-nil, the routed
+// channel segments colored by utilization (Figure 6).
+func SVGWithRoutes(w io.Writer, r *core.Result, rt *route.Result) error {
+	const scale = 6.0
+	W := r.ChipWidth * scale
+	H := r.Height * scale
+	if W <= 0 {
+		W = 1
+	}
+	if H <= 0 {
+		H = 1
+	}
+	// SVG y grows downward; flip so chip y=0 is at the bottom.
+	fy := func(y float64) float64 { return H - y*scale }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n", W+2, H+2, W+2, H+2)
+	fmt.Fprintf(&b, `<rect x="1" y="1" width="%.2f" height="%.2f" fill="white" stroke="black" stroke-width="1"/>`+"\n", W, H)
+
+	for i, p := range r.Placements {
+		color := palette[i%len(palette)]
+		m := p.Mod
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="black" stroke-width="0.5"/>`+"\n",
+			1+m.X*scale, 1+fy(m.Y2()), m.W*scale, m.H*scale, color)
+		if p.Env != p.Mod {
+			e := p.Env
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="gray" stroke-width="0.4" stroke-dasharray="2,2"/>`+"\n",
+				1+e.X*scale, 1+fy(e.Y2()), e.W*scale, e.H*scale)
+		}
+		name := ""
+		if p.Index < len(r.Design.Modules) {
+			name = r.Design.Modules[p.Index].Name
+		}
+		fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="%.2f" text-anchor="middle" dominant-baseline="middle">%s</text>`+"\n",
+			1+m.CenterX()*scale, 1+fy(m.CenterY()), min64(m.W, m.H)*scale*0.35, name)
+	}
+
+	if rt != nil {
+		for _, e := range rt.Graph.Edges {
+			if e.Util == 0 {
+				continue
+			}
+			a, c := rt.Graph.Nodes[e.A], rt.Graph.Nodes[e.B]
+			color := "#2b8cbe"
+			width := 0.6 + 0.3*float64(e.Util)
+			if e.Util > e.Cap {
+				color = "#e31a1c" // overflowed channel
+			}
+			fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f" opacity="0.7"/>`+"\n",
+				1+a.X*scale, 1+fy(a.Y), 1+c.X*scale, 1+fy(c.Y), color, width)
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ASCII renders the floorplan as a character grid of the given width in
+// columns; each module is drawn with a letter cycling a-z A-Z.
+func ASCII(r *core.Result, cols int) string {
+	if cols <= 0 {
+		cols = 72
+	}
+	if r.ChipWidth <= 0 || r.Height <= 0 || len(r.Placements) == 0 {
+		return "(empty floorplan)\n"
+	}
+	sx := float64(cols) / r.ChipWidth
+	rows := int(r.Height * sx / 2) // terminal cells are ~2x taller than wide
+	if rows < 1 {
+		rows = 1
+	}
+	sy := float64(rows) / r.Height
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+	glyphs := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	for k, p := range r.Placements {
+		g := glyphs[k%len(glyphs)]
+		x1 := int(p.Mod.X * sx)
+		x2 := int(p.Mod.X2() * sx)
+		y1 := int(p.Mod.Y * sy)
+		y2 := int(p.Mod.Y2() * sy)
+		for y := y1; y < y2 && y < rows; y++ {
+			for x := x1; x < x2 && x < cols; x++ {
+				grid[rows-1-y][x] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip %.1f x %.1f (area %.0f, utilization %.1f%%)\n",
+		r.ChipWidth, r.Height, r.ChipArea(), 100*r.Utilization())
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

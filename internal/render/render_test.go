@@ -1,0 +1,86 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"afp/internal/core"
+	"afp/internal/geom"
+	"afp/internal/netlist"
+	"afp/internal/route"
+)
+
+func samplePlan() *core.Result {
+	d := &netlist.Design{
+		Name: "two",
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 4, H: 4},
+			{Name: "b", Kind: netlist.Rigid, W: 4, H: 4},
+		},
+		Nets: []netlist.Net{{Name: "n", Modules: []int{0, 1}}},
+	}
+	return &core.Result{
+		Design:    d,
+		ChipWidth: 10,
+		Height:    4,
+		Placements: []core.Placement{
+			{Index: 0, Env: geom.NewRect(0, 0, 4, 4), Mod: geom.NewRect(0, 0, 4, 4)},
+			{Index: 1, Env: geom.NewRect(6, 0, 4, 4), Mod: geom.NewRect(6, 0, 4, 4)},
+		},
+	}
+}
+
+func TestSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, samplePlan()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+		t.Fatalf("not an SVG document:\n%s", s)
+	}
+	for _, name := range []string{">a</text>", ">b</text>"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("missing module label %q", name)
+		}
+	}
+}
+
+func TestSVGWithRoutes(t *testing.T) {
+	fp := samplePlan()
+	rt, err := route.Route(fp, route.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SVGWithRoutes(&buf, fp, rt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<line") {
+		t.Fatal("routed SVG contains no channel lines")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	s := ASCII(samplePlan(), 40)
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Fatalf("ASCII missing modules:\n%s", s)
+	}
+	if !strings.Contains(s, "utilization") {
+		t.Fatal("ASCII missing header")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for _, l := range lines[1:] {
+		if len(l) != 40 {
+			t.Fatalf("row width %d, want 40: %q", len(l), l)
+		}
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	s := ASCII(&core.Result{Design: &netlist.Design{}}, 10)
+	if !strings.Contains(s, "empty") {
+		t.Fatalf("empty render = %q", s)
+	}
+}

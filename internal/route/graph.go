@@ -1,0 +1,246 @@
+// Package route implements the graph-based global router of Section 3.2
+// of Sutanthavibul, Shragowitz and Rosen (DAC 1990): a channel-position
+// graph is derived from the floorplan, each module exposes one
+// generalized pin per side, nets are routed by (optionally weighted)
+// shortest paths with timing-critical nets first, and channel widths are
+// adjusted afterwards to compute the final chip area.
+package route
+
+import (
+	"math"
+	"sort"
+
+	"afp/internal/geom"
+)
+
+// Graph is the channel-position graph of a floorplan: nodes are channel
+// intersections on the grid induced by module edges, edges are channel
+// segments with estimated track capacities.
+type Graph struct {
+	Xs, Ys []float64 // grid lines
+	Nodes  []Node
+	Edges  []Edge
+
+	nodeAt map[[2]int]int // (xi, yi) -> node index
+	adj    [][]int        // node -> incident edge indices
+}
+
+// Node is one channel intersection.
+type Node struct {
+	X, Y   float64
+	XI, YI int // indices into Xs, Ys
+}
+
+// Edge is one channel segment between adjacent intersections.
+type Edge struct {
+	A, B       int // node indices
+	Len        float64
+	Cap        int  // estimated track capacity
+	Util       int  // routed tracks (updated during routing)
+	Horizontal bool // orientation of the segment
+}
+
+// buildGraph constructs the channel graph for module envelopes placed on
+// a chip of the given dimensions. pitchH and pitchV convert clearances
+// into track capacities.
+func buildGraph(envs []geom.Rect, chipW, chipH, pitchH, pitchV float64) *Graph {
+	xs := []float64{0, chipW}
+	ys := []float64{0, chipH}
+	for _, r := range envs {
+		xs = append(xs, r.X, r.X2())
+		ys = append(ys, r.Y, r.Y2())
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	xs = dedup(xs)
+	ys = dedup(ys)
+
+	g := &Graph{Xs: xs, Ys: ys, nodeAt: make(map[[2]int]int)}
+
+	inside := func(x, y float64) bool {
+		for _, r := range envs {
+			if x > r.X+geom.Eps && x < r.X2()-geom.Eps &&
+				y > r.Y+geom.Eps && y < r.Y2()-geom.Eps {
+				return true
+			}
+		}
+		return false
+	}
+	for xi, x := range xs {
+		for yi, y := range ys {
+			if x < -geom.Eps || x > chipW+geom.Eps || y < -geom.Eps || y > chipH+geom.Eps {
+				continue
+			}
+			if inside(x, y) {
+				continue
+			}
+			g.nodeAt[[2]int{xi, yi}] = len(g.Nodes)
+			g.Nodes = append(g.Nodes, Node{X: x, Y: y, XI: xi, YI: yi})
+		}
+	}
+
+	// blockedH reports whether the open horizontal segment
+	// (x1, x2) x {y} passes through a module interior.
+	blockedH := func(x1, x2, y float64) bool {
+		for _, r := range envs {
+			if y > r.Y+geom.Eps && y < r.Y2()-geom.Eps &&
+				x1 >= r.X-geom.Eps && x2 <= r.X2()+geom.Eps {
+				return true
+			}
+		}
+		return false
+	}
+	blockedV := func(y1, y2, x float64) bool {
+		for _, r := range envs {
+			if x > r.X+geom.Eps && x < r.X2()-geom.Eps &&
+				y1 >= r.Y-geom.Eps && y2 <= r.Y2()+geom.Eps {
+				return true
+			}
+		}
+		return false
+	}
+
+	addEdge := func(a, b int, l float64, cp int, horiz bool) {
+		g.Edges = append(g.Edges, Edge{A: a, B: b, Len: l, Cap: cp, Horizontal: horiz})
+	}
+
+	// Horizontal edges.
+	for yi, y := range ys {
+		for xi := 0; xi+1 < len(xs); xi++ {
+			a, okA := g.nodeAt[[2]int{xi, yi}]
+			b, okB := g.nodeAt[[2]int{xi + 1, yi}]
+			if !okA || !okB {
+				continue
+			}
+			if blockedH(xs[xi], xs[xi+1], y) {
+				continue
+			}
+			gap := corridorH(envs, xs[xi], xs[xi+1], y, chipH)
+			cp := capFromGap(gap, pitchH)
+			addEdge(a, b, xs[xi+1]-xs[xi], cp, true)
+		}
+	}
+	// Vertical edges.
+	for xi, x := range xs {
+		for yi := 0; yi+1 < len(ys); yi++ {
+			a, okA := g.nodeAt[[2]int{xi, yi}]
+			b, okB := g.nodeAt[[2]int{xi, yi + 1}]
+			if !okA || !okB {
+				continue
+			}
+			if blockedV(ys[yi], ys[yi+1], x) {
+				continue
+			}
+			gap := corridorV(envs, ys[yi], ys[yi+1], x, chipW)
+			cp := capFromGap(gap, pitchV)
+			addEdge(a, b, ys[yi+1]-ys[yi], cp, false)
+		}
+	}
+
+	g.adj = make([][]int, len(g.Nodes))
+	for ei, e := range g.Edges {
+		g.adj[e.A] = append(g.adj[e.A], ei)
+		g.adj[e.B] = append(g.adj[e.B], ei)
+	}
+	return g
+}
+
+// corridorH estimates the free vertical extent of the channel containing
+// the horizontal segment (x1, x2) x {y}: distance to the nearest blocking
+// module edge below plus above (or the chip boundary).
+func corridorH(envs []geom.Rect, x1, x2, y, chipH float64) float64 {
+	up := chipH - y
+	down := y
+	for _, r := range envs {
+		if r.X2() <= x1+geom.Eps || r.X >= x2-geom.Eps {
+			continue // no x-overlap with the segment
+		}
+		if r.Y >= y-geom.Eps { // module above (or starting at) the line
+			if d := r.Y - y; d < up {
+				up = d
+			}
+		}
+		if r.Y2() <= y+geom.Eps { // module below (or ending at) the line
+			if d := y - r.Y2(); d < down {
+				down = d
+			}
+		}
+	}
+	return up + down
+}
+
+func corridorV(envs []geom.Rect, y1, y2, x, chipW float64) float64 {
+	right := chipW - x
+	left := x
+	for _, r := range envs {
+		if r.Y2() <= y1+geom.Eps || r.Y >= y2-geom.Eps {
+			continue
+		}
+		if r.X >= x-geom.Eps {
+			if d := r.X - x; d < right {
+				right = d
+			}
+		}
+		if r.X2() <= x+geom.Eps {
+			if d := x - r.X2(); d < left {
+				left = d
+			}
+		}
+	}
+	return left + right
+}
+
+// capFromGap converts a free corridor extent into a track capacity. Every
+// existing channel carries at least one track; abutting modules leave a
+// zero-width channel that can still be routed over at high cost.
+func capFromGap(gap, pitch float64) int {
+	if pitch <= 0 {
+		pitch = 0.1
+	}
+	c := int(math.Floor(gap / pitch))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Other returns the endpoint of edge e that is not n.
+func (e *Edge) Other(n int) int {
+	if e.A == n {
+		return e.B
+	}
+	return e.A
+}
+
+// NearestNode returns the node closest (L1) to the given point.
+func (g *Graph) NearestNode(x, y float64) int {
+	best, bestD := -1, math.Inf(1)
+	for i, n := range g.Nodes {
+		d := math.Abs(n.X-x) + math.Abs(n.Y-y)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Overflow returns the total routed demand exceeding edge capacities.
+func (g *Graph) Overflow() int {
+	var o int
+	for _, e := range g.Edges {
+		if e.Util > e.Cap {
+			o += e.Util - e.Cap
+		}
+	}
+	return o
+}
+
+func dedup(xs []float64) []float64 {
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x-out[len(out)-1] > geom.Eps {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package route
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CongestionStats summarizes channel usage after routing.
+type CongestionStats struct {
+	UsedEdges      int     // edges carrying at least one track
+	OverflowEdges  int     // edges beyond capacity
+	MaxUtilization float64 // max Util/Cap over used edges
+	AvgUtilization float64 // mean Util/Cap over used edges
+}
+
+// Stats computes congestion statistics for the routed graph.
+func (r *Result) Stats() CongestionStats {
+	var st CongestionStats
+	var sum float64
+	for _, e := range r.Graph.Edges {
+		if e.Util == 0 {
+			continue
+		}
+		st.UsedEdges++
+		u := float64(e.Util) / float64(e.Cap)
+		sum += u
+		if u > st.MaxUtilization {
+			st.MaxUtilization = u
+		}
+		if e.Util > e.Cap {
+			st.OverflowEdges++
+		}
+	}
+	if st.UsedEdges > 0 {
+		st.AvgUtilization = sum / float64(st.UsedEdges)
+	}
+	return st
+}
+
+// CongestionReport writes a human-readable congestion summary: aggregate
+// statistics plus the topN most overloaded channel segments.
+func (r *Result) CongestionReport(w io.Writer, topN int) {
+	st := r.Stats()
+	fmt.Fprintf(w, "routing: %d nets, wirelength %.1f, overflow %d\n",
+		len(r.Nets), r.Wirelength, r.Overflow)
+	fmt.Fprintf(w, "channels: %d used, %d overflowed, max util %.2f, avg util %.2f\n",
+		st.UsedEdges, st.OverflowEdges, st.MaxUtilization, st.AvgUtilization)
+	if topN <= 0 {
+		return
+	}
+	type hot struct {
+		idx  int
+		over int
+	}
+	var hots []hot
+	for i, e := range r.Graph.Edges {
+		if e.Util > e.Cap {
+			hots = append(hots, hot{i, e.Util - e.Cap})
+		}
+	}
+	sort.Slice(hots, func(a, b int) bool {
+		if hots[a].over != hots[b].over {
+			return hots[a].over > hots[b].over
+		}
+		return hots[a].idx < hots[b].idx
+	})
+	if len(hots) > topN {
+		hots = hots[:topN]
+	}
+	for _, h := range hots {
+		e := r.Graph.Edges[h.idx]
+		a, b := r.Graph.Nodes[e.A], r.Graph.Nodes[e.B]
+		dir := "V"
+		if e.Horizontal {
+			dir = "H"
+		}
+		fmt.Fprintf(w, "  %s channel (%.1f,%.1f)-(%.1f,%.1f): %d/%d tracks (+%d)\n",
+			dir, a.X, a.Y, b.X, b.Y, e.Util, e.Cap, h.over)
+	}
+}

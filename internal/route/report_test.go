@@ -1,0 +1,42 @@
+package route
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStatsAndCongestionReport(t *testing.T) {
+	fp := congestedPlan(10)
+	res, err := Route(fp, Config{Algorithm: ShortestPath, PitchH: 0.5, PitchV: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats()
+	if st.UsedEdges == 0 {
+		t.Fatal("no used edges")
+	}
+	if st.MaxUtilization < st.AvgUtilization {
+		t.Fatalf("max util %v below avg %v", st.MaxUtilization, st.AvgUtilization)
+	}
+	if (st.OverflowEdges > 0) != (res.Overflow > 0) {
+		t.Fatalf("overflow stats inconsistent: edges=%d total=%d", st.OverflowEdges, res.Overflow)
+	}
+
+	var buf bytes.Buffer
+	res.CongestionReport(&buf, 5)
+	out := buf.String()
+	if !strings.Contains(out, "channels:") || !strings.Contains(out, "wirelength") {
+		t.Fatalf("report incomplete:\n%s", out)
+	}
+	if res.Overflow > 0 && !strings.Contains(out, "tracks (+") {
+		t.Fatalf("expected hot channel lines:\n%s", out)
+	}
+
+	// topN = 0 suppresses the hot list.
+	buf.Reset()
+	res.CongestionReport(&buf, 0)
+	if strings.Contains(buf.String(), "tracks (+") {
+		t.Fatal("hot list printed despite topN=0")
+	}
+}

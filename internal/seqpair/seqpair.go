@@ -1,0 +1,303 @@
+// Package seqpair implements a sequence-pair floorplanner driven by
+// simulated annealing (Murata, Fujiyoshi, Nakatake, Kajitani,
+// "VLSI Module Placement Based on Rectangle-Packing by the Sequence-Pair",
+// 1995/1996). It is a second baseline beside the Wong-Liu slicing
+// annealer: like the paper's analytical method — and unlike slicing — the
+// sequence-pair represents *general* packings, so it brackets the
+// reproduction from the modern metaheuristic side. This post-dates the
+// reproduced DAC 1990 paper and is provided as an extension (see
+// DESIGN.md).
+package seqpair
+
+import (
+	"math"
+	"math/rand"
+
+	"afp/internal/core"
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+// Config tunes the annealer.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Lambda weighs HPWL against area in the cost.
+	Lambda float64
+	// FlexSamples is the number of width samples per flexible module
+	// (default 6).
+	FlexSamples int
+	// MovesPerTemp is the number of attempted moves per temperature
+	// (default 30 * n).
+	MovesPerTemp int
+	// Alpha is the geometric cooling rate (default 0.85).
+	Alpha float64
+}
+
+// shape is one realizable (w, h) of a module.
+type shape struct {
+	w, h    float64
+	rotated bool
+}
+
+// state is one sequence-pair configuration.
+type state struct {
+	gp, gn []int // Gamma+ and Gamma- permutations (module indices)
+	shp    []int // selected shape index per module
+}
+
+type annealer struct {
+	d      *netlist.Design
+	cfg    Config
+	rng    *rand.Rand
+	shapes [][]shape
+	posP   []int // position of each module in gp
+	posN   []int // position of each module in gn
+}
+
+// Floorplan runs sequence-pair simulated annealing and returns the best
+// packing found.
+func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Modules)
+	if n == 0 {
+		return &core.Result{Design: d}, nil
+	}
+	if cfg.FlexSamples <= 0 {
+		cfg.FlexSamples = 6
+	}
+	if cfg.MovesPerTemp <= 0 {
+		cfg.MovesPerTemp = 30 * n
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 0.85
+	}
+	a := &annealer{
+		d:      d,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 54321)),
+		shapes: buildShapes(d, cfg.FlexSamples),
+		posP:   make([]int, n),
+		posN:   make([]int, n),
+	}
+
+	cur := a.initial(n)
+	curCost := a.cost(cur)
+	best := cur.clone()
+	bestCost := curCost
+
+	// Calibrate the starting temperature from the average uphill delta.
+	t0 := a.calibrate(cur, curCost)
+	for T := t0; T > t0*1e-4; T *= cfg.Alpha {
+		accepted := 0
+		for mv := 0; mv < cfg.MovesPerTemp; mv++ {
+			next := a.perturb(cur)
+			c := a.cost(next)
+			if delta := c - curCost; delta <= 0 || a.rng.Float64() < math.Exp(-delta/T) {
+				cur, curCost = next, c
+				accepted++
+				if c < bestCost {
+					bestCost = c
+					best = cur.clone()
+				}
+			}
+		}
+		if accepted == 0 {
+			break
+		}
+	}
+	return a.decode(best), nil
+}
+
+func buildShapes(d *netlist.Design, samples int) [][]shape {
+	out := make([][]shape, len(d.Modules))
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		var ss []shape
+		switch m.Kind {
+		case netlist.Flexible:
+			wmin, wmax := m.WidthRange()
+			for k := 0; k < samples; k++ {
+				f := float64(k) / float64(samples-1)
+				w := wmin + f*(wmax-wmin)
+				ss = append(ss, shape{w: w, h: m.Area / w})
+			}
+		default:
+			ss = append(ss, shape{w: m.W, h: m.H})
+			if m.Rotatable && m.W != m.H {
+				ss = append(ss, shape{w: m.H, h: m.W, rotated: true})
+			}
+		}
+		out[i] = ss
+	}
+	return out
+}
+
+func (a *annealer) initial(n int) state {
+	s := state{gp: make([]int, n), gn: make([]int, n), shp: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.gp[i] = i
+		s.gn[i] = i
+	}
+	return s
+}
+
+func (s state) clone() state {
+	return state{
+		gp:  append([]int(nil), s.gp...),
+		gn:  append([]int(nil), s.gn...),
+		shp: append([]int(nil), s.shp...),
+	}
+}
+
+func (a *annealer) calibrate(s state, base float64) float64 {
+	var up, cnt float64
+	cur, curCost := s, base
+	for i := 0; i < 50; i++ {
+		next := a.perturb(cur)
+		c := a.cost(next)
+		if d := c - curCost; d > 0 {
+			up += d
+			cnt++
+		}
+		cur, curCost = next, c
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return -(up / cnt) / math.Log(0.85)
+}
+
+// perturb applies one of the classic sequence-pair moves: swap two
+// modules in Gamma+ only, swap in both sequences, or change one module's
+// shape.
+func (a *annealer) perturb(s state) state {
+	next := s.clone()
+	n := len(next.gp)
+	if n < 2 {
+		return next
+	}
+	switch a.rng.Intn(3) {
+	case 0:
+		i, j := a.rng.Intn(n), a.rng.Intn(n)
+		next.gp[i], next.gp[j] = next.gp[j], next.gp[i]
+	case 1:
+		m1, m2 := a.rng.Intn(n), a.rng.Intn(n)
+		swapIn(next.gp, m1, m2)
+		swapIn(next.gn, m1, m2)
+	default:
+		m := a.rng.Intn(n)
+		if k := len(a.shapes[m]); k > 1 {
+			next.shp[m] = (next.shp[m] + 1 + a.rng.Intn(k-1)) % k
+		}
+	}
+	return next
+}
+
+// swapIn exchanges the positions of module values m1 and m2 in perm.
+func swapIn(perm []int, m1, m2 int) {
+	var i1, i2 int
+	for i, v := range perm {
+		if v == m1 {
+			i1 = i
+		}
+		if v == m2 {
+			i2 = i
+		}
+	}
+	perm[i1], perm[i2] = perm[i2], perm[i1]
+}
+
+// place computes the packing of a state: the classic O(n^2) longest-path
+// evaluation. Module b sits right of a when a precedes b in both
+// sequences; above a when a succeeds b in Gamma+ but precedes it in
+// Gamma-.
+func (a *annealer) place(s state) ([]geom.Rect, float64, float64) {
+	n := len(s.gp)
+	for i, m := range s.gp {
+		a.posP[m] = i
+	}
+	for i, m := range s.gn {
+		a.posN[m] = i
+	}
+	rects := make([]geom.Rect, n)
+	var W, H float64
+	// Processing in Gamma- order is a valid topological order for both
+	// the left-of and below relations.
+	for _, b := range s.gn {
+		sb := a.shapes[b][s.shp[b]]
+		var x, y float64
+		for _, m := range s.gn[:a.posN[b]] {
+			sm := a.shapes[m][s.shp[m]]
+			if a.posP[m] < a.posP[b] { // m left of b
+				if r := rects[m].X + sm.w; r > x {
+					x = r
+				}
+			} else { // m below b
+				if t := rects[m].Y + sm.h; t > y {
+					y = t
+				}
+			}
+		}
+		rects[b] = geom.NewRect(x, y, sb.w, sb.h)
+		if x+sb.w > W {
+			W = x + sb.w
+		}
+		if y+sb.h > H {
+			H = y + sb.h
+		}
+	}
+	return rects, W, H
+}
+
+func (a *annealer) cost(s state) float64 {
+	rects, W, H := a.place(s)
+	c := W * H
+	if a.cfg.Lambda > 0 {
+		c += a.cfg.Lambda * hpwl(a.d, rects)
+	}
+	return c
+}
+
+func hpwl(d *netlist.Design, rects []geom.Rect) float64 {
+	var total float64
+	for _, net := range d.Nets {
+		w := net.Weight
+		if w == 0 {
+			w = 1
+		}
+		first := true
+		var minX, maxX, minY, maxY float64
+		for _, mi := range net.Modules {
+			c := rects[mi]
+			cx, cy := c.CenterX(), c.CenterY()
+			if first {
+				minX, maxX, minY, maxY = cx, cx, cy, cy
+				first = false
+				continue
+			}
+			minX = math.Min(minX, cx)
+			maxX = math.Max(maxX, cx)
+			minY = math.Min(minY, cy)
+			maxY = math.Max(maxY, cy)
+		}
+		if !first {
+			total += w * ((maxX - minX) + (maxY - minY))
+		}
+	}
+	return total
+}
+
+func (a *annealer) decode(s state) *core.Result {
+	rects, W, H := a.place(s)
+	res := &core.Result{Design: a.d, ChipWidth: W, Height: H}
+	for m, r := range rects {
+		res.Placements = append(res.Placements, core.Placement{
+			Index: m, Env: r, Mod: r,
+			Rotated: a.shapes[m][s.shp[m]].rotated,
+		})
+	}
+	return res
+}

@@ -1,0 +1,132 @@
+package seqpair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+func fourSquares() *netlist.Design {
+	d := &netlist.Design{Name: "four"}
+	for i := 0; i < 4; i++ {
+		d.Modules = append(d.Modules,
+			netlist.Module{Name: string(rune('a' + i)), Kind: netlist.Rigid, W: 2, H: 2})
+	}
+	d.Nets = []netlist.Net{{Name: "n", Modules: []int{0, 3}, Weight: 1}}
+	return d
+}
+
+func TestPlaceNeverOverlaps(t *testing.T) {
+	// The sequence-pair theorem: any pair of permutations decodes to a
+	// non-overlapping packing. Check it over random states.
+	d := netlist.Random(10, 3)
+	a := &annealer{
+		d: d, cfg: Config{FlexSamples: 4}, shapes: buildShapes(d, 4),
+		posP: make([]int, 10), posN: make([]int, 10),
+	}
+	rng := rand.New(rand.NewSource(9))
+	s := a.initial(10)
+	for trial := 0; trial < 200; trial++ {
+		rng.Shuffle(10, func(i, j int) { s.gp[i], s.gp[j] = s.gp[j], s.gp[i] })
+		rng.Shuffle(10, func(i, j int) { s.gn[i], s.gn[j] = s.gn[j], s.gn[i] })
+		for m := range s.shp {
+			s.shp[m] = rng.Intn(len(a.shapes[m]))
+		}
+		rects, W, H := a.place(s)
+		if i, j, bad := geom.AnyOverlap(rects); bad {
+			t.Fatalf("trial %d: modules %d/%d overlap: %v %v", trial, i, j, rects[i], rects[j])
+		}
+		for _, r := range rects {
+			if r.X < -1e-9 || r.Y < -1e-9 || r.X2() > W+1e-9 || r.Y2() > H+1e-9 {
+				t.Fatalf("trial %d: %v outside %v x %v", trial, r, W, H)
+			}
+		}
+	}
+}
+
+func TestFloorplanFourSquares(t *testing.T) {
+	d := fourSquares()
+	r, err := Floorplan(d, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ChipArea()-16) > 1e-9 {
+		t.Fatalf("area = %v, want 16", r.ChipArea())
+	}
+	if v := r.Verify(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestFloorplanDeterministic(t *testing.T) {
+	d := fourSquares()
+	r1, _ := Floorplan(d, Config{Seed: 4})
+	r2, _ := Floorplan(d, Config{Seed: 4})
+	if r1.ChipArea() != r2.ChipArea() || r1.HPWL() != r2.HPWL() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestFloorplanFlexibleAndRotation(t *testing.T) {
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "f", Kind: netlist.Flexible, Area: 12, MinAspect: 1.0 / 3, MaxAspect: 3},
+			{Name: "r", Kind: netlist.Rigid, W: 6, H: 2, Rotatable: true},
+			{Name: "s", Kind: netlist.Rigid, W: 2, H: 2},
+		},
+	}
+	r, err := Floorplan(d, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Verify(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	// Area 12+12+4 = 28; a decent non-slicing packing stays below 1.35x.
+	if r.ChipArea() > 28*1.35 {
+		t.Fatalf("area = %v, too loose", r.ChipArea())
+	}
+}
+
+func TestFloorplanEmptyAndSingle(t *testing.T) {
+	r, err := Floorplan(&netlist.Design{}, Config{})
+	if err != nil || len(r.Placements) != 0 {
+		t.Fatalf("empty: %v %v", r, err)
+	}
+	d := &netlist.Design{Modules: []netlist.Module{{Name: "a", Kind: netlist.Rigid, W: 3, H: 4}}}
+	r, err = Floorplan(d, Config{})
+	if err != nil || r.ChipArea() != 12 {
+		t.Fatalf("single: area %v, err %v", r.ChipArea(), err)
+	}
+}
+
+func TestFloorplanAMI33(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ami33 seqpair in -short mode")
+	}
+	d := netlist.AMI33()
+	r, err := Floorplan(d, Config{Seed: 1, MovesPerTemp: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Verify(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	util := d.TotalArea() / r.ChipArea()
+	if util < 0.6 {
+		t.Fatalf("utilization %.2f too low", util)
+	}
+	t.Logf("ami33 sequence-pair: area %.0f, util %.1f%%", r.ChipArea(), 100*util)
+}
+
+func TestLambdaPullsConnected(t *testing.T) {
+	d := fourSquares()
+	plain, _ := Floorplan(d, Config{Seed: 3})
+	wired, _ := Floorplan(d, Config{Seed: 3, Lambda: 10})
+	if wired.HPWL() > plain.HPWL()+1e-9 {
+		t.Fatalf("lambda did not reduce HPWL: %v vs %v", wired.HPWL(), plain.HPWL())
+	}
+}

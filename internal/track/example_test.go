@@ -1,0 +1,23 @@
+package track_test
+
+import (
+	"fmt"
+
+	"afp/internal/track"
+)
+
+// ExampleLeftEdge packs four channel segments into tracks.
+func ExampleLeftEdge() {
+	segments := []track.Interval{
+		{Net: 1, Lo: 0, Hi: 4},
+		{Net: 2, Lo: 2, Hi: 6},  // overlaps net 1 -> new track
+		{Net: 3, Lo: 5, Hi: 9},  // fits after net 1 on track 0
+		{Net: 1, Lo: 7, Hi: 10}, // same net as the first -> may share
+	}
+	asg := track.LeftEdge(segments)
+	fmt.Println("tracks needed:", asg.Tracks)
+	fmt.Println("density bound:", track.Density(segments))
+	// Output:
+	// tracks needed: 2
+	// density bound: 2
+}

@@ -1,0 +1,164 @@
+package track
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeftEdgeBasic(t *testing.T) {
+	// Three pairwise-overlapping intervals of distinct nets need 3 tracks.
+	ivs := []Interval{
+		{Net: 1, Lo: 0, Hi: 10},
+		{Net: 2, Lo: 2, Hi: 8},
+		{Net: 3, Lo: 4, Hi: 6},
+	}
+	asg := LeftEdge(ivs)
+	if asg.Tracks != 3 {
+		t.Fatalf("tracks = %d, want 3", asg.Tracks)
+	}
+}
+
+func TestLeftEdgeChaining(t *testing.T) {
+	// Disjoint intervals chain onto one track.
+	ivs := []Interval{
+		{Net: 1, Lo: 0, Hi: 2},
+		{Net: 2, Lo: 3, Hi: 5},
+		{Net: 3, Lo: 6, Hi: 9},
+	}
+	asg := LeftEdge(ivs)
+	if asg.Tracks != 1 {
+		t.Fatalf("tracks = %d, want 1", asg.Tracks)
+	}
+}
+
+func TestLeftEdgeTouchingDifferentNets(t *testing.T) {
+	// Touching endpoints of different nets may share a track only with a
+	// strict gap; exact touch (Lo == prev Hi) conflicts (via contact), so
+	// the greedy uses the "strictly to the right" rule.
+	ivs := []Interval{
+		{Net: 1, Lo: 0, Hi: 3},
+		{Net: 2, Lo: 3, Hi: 6},
+	}
+	asg := LeftEdge(ivs)
+	if asg.Tracks != 2 {
+		t.Fatalf("tracks = %d, want 2 (touching nets conflict)", asg.Tracks)
+	}
+}
+
+func TestLeftEdgeSameNetShares(t *testing.T) {
+	ivs := []Interval{
+		{Net: 1, Lo: 0, Hi: 4},
+		{Net: 1, Lo: 2, Hi: 8}, // same net overlap merges
+		{Net: 2, Lo: 5, Hi: 6},
+	}
+	asg := LeftEdge(ivs)
+	if asg.Track[0] != asg.Track[1] {
+		t.Fatalf("same-net segments on different tracks: %v", asg.Track)
+	}
+	if asg.Tracks != 2 {
+		t.Fatalf("tracks = %d, want 2", asg.Tracks)
+	}
+}
+
+func TestLeftEdgeEmpty(t *testing.T) {
+	asg := LeftEdge(nil)
+	if asg.Tracks != 0 || len(asg.Track) != 0 {
+		t.Fatalf("empty assignment = %+v", asg)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	ivs := []Interval{
+		{Net: 1, Lo: 0, Hi: 10},
+		{Net: 2, Lo: 2, Hi: 8},
+		{Net: 3, Lo: 4, Hi: 6},
+		{Net: 4, Lo: 20, Hi: 30},
+	}
+	if d := Density(ivs); d != 3 {
+		t.Fatalf("density = %d, want 3", d)
+	}
+	// Same-net segments count once.
+	same := []Interval{
+		{Net: 1, Lo: 0, Hi: 4},
+		{Net: 1, Lo: 2, Hi: 8},
+	}
+	if d := Density(same); d != 1 {
+		t.Fatalf("same-net density = %d, want 1", d)
+	}
+}
+
+func TestMergePerNet(t *testing.T) {
+	ivs := []Interval{
+		{Net: 1, Lo: 0, Hi: 2},
+		{Net: 1, Lo: 2, Hi: 5}, // touching merges
+		{Net: 1, Lo: 7, Hi: 9},
+		{Net: 2, Lo: 1, Hi: 3},
+	}
+	merged := MergePerNet(ivs)
+	if len(merged) != 3 {
+		t.Fatalf("merged = %v", merged)
+	}
+}
+
+// Properties: (1) assignment is conflict-free, (2) the track count equals
+// the density lower bound (left-edge optimality for interval graphs).
+func TestLeftEdgeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(20)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := float64(rng.Intn(50))
+			ivs[i] = Interval{
+				Net: rng.Intn(8),
+				Lo:  lo,
+				Hi:  lo + 1 + float64(rng.Intn(20)),
+			}
+		}
+		// Merge same-net segments first so optimality applies cleanly.
+		merged := MergePerNet(ivs)
+		asg := LeftEdge(merged)
+
+		// Conflict-freedom.
+		for i := range merged {
+			for j := i + 1; j < len(merged); j++ {
+				if asg.Track[i] != asg.Track[j] || merged[i].Net == merged[j].Net {
+					continue
+				}
+				if merged[i].Lo <= merged[j].Hi && merged[j].Lo <= merged[i].Hi {
+					t.Fatalf("trial %d: conflicting intervals share track %d: %v %v",
+						trial, asg.Track[i], merged[i], merged[j])
+				}
+			}
+		}
+		// Optimality.
+		if d := Density(merged); asg.Tracks != d {
+			t.Fatalf("trial %d: tracks %d != density %d\n%v", trial, asg.Tracks, d, merged)
+		}
+	}
+}
+
+// quick.Check property: track indices are always within [0, Tracks).
+func TestLeftEdgeTrackRange(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		var ivs []Interval
+		for i, s := range seeds {
+			ivs = append(ivs, Interval{
+				Net: i % 5,
+				Lo:  float64(s % 40),
+				Hi:  float64(s%40) + float64(s%7) + 1,
+			})
+		}
+		asg := LeftEdge(ivs)
+		for _, tr := range asg.Track {
+			if tr < 0 || tr >= asg.Tracks && len(ivs) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
