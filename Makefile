@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test ci vet race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the race detector over the packages with concurrency-sensitive
+# instrumentation (the observability sinks and the solvers they observe).
+race:
+	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp
+
+# ci is the gate run before merging: static checks, a full build, and the
+# race-instrumented solver tests.
+ci: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"afp/internal/obs"
 )
 
 var (
@@ -59,9 +61,10 @@ func TestCLIFloorplanRandomDesign(t *testing.T) {
 	}
 	dir := t.TempDir()
 	svg := filepath.Join(dir, "out.svg")
+	trace := filepath.Join(dir, "out.jsonl")
 	out := runCLI(t, "floorplan", "",
 		"-design", "rand8", "-group", "3", "-nodes", "500",
-		"-ascii", "-trace", "-route", "-svg", svg)
+		"-ascii", "-verbose", "-trace", trace, "-route", "-svg", svg)
 	for _, want := range []string{"utilization", "step 0", "routed:", "wrote"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
@@ -70,6 +73,30 @@ func TestCLIFloorplanRandomDesign(t *testing.T) {
 	data, err := os.ReadFile(svg)
 	if err != nil || !strings.HasPrefix(string(data), "<svg") {
 		t.Fatalf("SVG not written: %v", err)
+	}
+
+	// The trace must be valid JSONL covering the whole solve: step-level
+	// events, branch-and-bound node lifecycles and timed LP solves.
+	tf, err := os.Open(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	defer tf.Close()
+	events, err := obs.ReadJSONL(tf)
+	if err != nil {
+		t.Fatalf("trace not valid JSONL: %v", err)
+	}
+	rec := &obs.Recorder{}
+	for _, e := range events {
+		rec.Emit(e)
+	}
+	for _, k := range []obs.Kind{obs.KindStepStart, obs.KindStepDone, obs.KindNodeOpen, obs.KindLPSolve, obs.KindSearchDone} {
+		if rec.CountKind(k) == 0 {
+			t.Errorf("trace has no %s events (%d total)", k, len(events))
+		}
+	}
+	if e, ok := rec.LastKind(obs.KindLPSolve); ok && e.DurUS < 0 {
+		t.Errorf("lp.solve event has negative duration: %+v", e)
 	}
 }
 

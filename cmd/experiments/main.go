@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"afp/internal/bench"
+	"afp/internal/obs"
 )
 
 func main() {
@@ -27,12 +28,29 @@ func main() {
 
 func run() error {
 	var (
-		table  = flag.String("table", "", "table to regenerate: 1, 2, 3, baseline or all")
-		figure = flag.String("figure", "", "figure to regenerate: 1, 2, 4, 5, 6 or all")
-		mode   = flag.String("mode", "full", "effort: full or quick")
-		outDir = flag.String("out", ".", "directory for SVG figure output")
+		table   = flag.String("table", "", "table to regenerate: 1, 2, 3, baseline or all")
+		figure  = flag.String("figure", "", "figure to regenerate: 1, 2, 4, 5, 6 or all")
+		mode    = flag.String("mode", "full", "effort: full or quick")
+		outDir  = flag.String("out", ".", "directory for SVG figure output")
+		metrics = flag.String("metrics", "", "write a per-row timing/counter metrics JSON sidecar to this file")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		m := new(obs.Metrics)
+		bench.SetMetrics(m)
+		defer func() {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: metrics:", err)
+				return
+			}
+			defer f.Close()
+			if err := m.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: metrics:", err)
+			}
+		}()
+	}
 	if *table == "" && *figure == "" {
 		*table = "all"
 		*figure = "all"

@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -25,6 +27,7 @@ import (
 	"afp/internal/milp"
 	"afp/internal/mipmodel"
 	"afp/internal/netlist"
+	"afp/internal/obs"
 	"afp/internal/order"
 	"afp/internal/render"
 	"afp/internal/route"
@@ -58,10 +61,30 @@ func run() error {
 		svgOut    = flag.String("svg", "", "write the floorplan as SVG to this file")
 		placeOut  = flag.String("placement", "", "write the floorplan as JSON to this file")
 		ascii     = flag.Bool("ascii", false, "print an ASCII rendering")
-		trace     = flag.Bool("trace", false, "print per-step traces")
+		traceOut  = flag.String("trace", "", "write a JSONL event trace (lp.solve, node.*, step.*) to this file")
+		verbose   = flag.Bool("verbose", false, "log solver progress to stderr and print per-step traces")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		sweep     = flag.Bool("sweep", false, "try several chip widths and keep the best floorplan")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "floorplan: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	observer, closeTrace, err := setupObserver(*traceOut, *verbose)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "floorplan: trace:", err)
+		}
+	}()
 
 	d, err := loadDesign(*input, *blocks, *netsFile, *design, *seed)
 	if err != nil {
@@ -70,7 +93,7 @@ func run() error {
 
 	if *method == "sa" {
 		start := time.Now()
-		r, err := anneal.Floorplan(d, anneal.Config{Seed: *seed})
+		r, err := anneal.Floorplan(d, anneal.Config{Seed: *seed, Obs: observer})
 		if err != nil {
 			return err
 		}
@@ -96,6 +119,7 @@ func run() error {
 		Envelopes:    *envelopes,
 		PostOptimize: *post,
 		MILP:         milp.Options{MaxNodes: *nodes, TimeLimit: *stepTime},
+		Obs:          observer,
 	}
 	switch *objective {
 	case "area":
@@ -142,7 +166,7 @@ func run() error {
 		r.ChipWidth, r.Height, r.ChipArea(), 100*r.Utilization(), r.HPWL(),
 		time.Since(start).Round(time.Millisecond))
 
-	if *trace {
+	if *verbose {
 		for _, s := range r.Steps {
 			fmt.Printf("  step %d: +%d modules, %d obstacles, %d binaries, %d nodes, %v, height %.1f (%v)\n",
 				s.Step, len(s.Added), s.Obstacles, s.Binaries, s.Nodes, s.Status, s.Height, s.Elapsed.Round(time.Millisecond))
@@ -181,6 +205,34 @@ func run() error {
 		return writeSVG(*svgOut, r, rt)
 	}
 	return nil
+}
+
+// setupObserver builds the shared observer from the -trace and -verbose
+// flags: a JSONL writer on the trace file, a human-readable log on stderr,
+// or both. The returned close function flushes and closes the trace file
+// and reports any write error retained by the JSONL encoder.
+func setupObserver(tracePath string, verbose bool) (*obs.Observer, func() error, error) {
+	var sinks []obs.Sink
+	closeFn := func() error { return nil }
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, closeFn, err
+		}
+		w := obs.NewJSONLWriter(f)
+		sinks = append(sinks, w)
+		closeFn = func() error {
+			if err := w.Err(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	if verbose {
+		sinks = append(sinks, obs.NewLogSink(os.Stderr))
+	}
+	return obs.New(obs.Multi(sinks...)), closeFn, nil
 }
 
 func writeSVG(path string, r *core.Result, rt *route.Result) error {

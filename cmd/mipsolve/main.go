@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +33,7 @@ import (
 
 	"afp/internal/lp"
 	"afp/internal/milp"
+	"afp/internal/obs"
 )
 
 func main() {
@@ -42,11 +45,45 @@ func main() {
 
 func run() error {
 	var (
-		input    = flag.String("input", "", "model file; empty reads stdin")
-		maxNodes = flag.Int("nodes", 200000, "branch-and-bound node limit")
-		timeout  = flag.Duration("timeout", time.Minute, "solve time limit")
+		input     = flag.String("input", "", "model file; empty reads stdin")
+		maxNodes  = flag.Int("nodes", 200000, "branch-and-bound node limit")
+		timeout   = flag.Duration("timeout", time.Minute, "solve time limit")
+		traceOut  = flag.String("trace", "", "write a JSONL event trace (lp.solve, node.*) to this file")
+		verbose   = flag.Bool("verbose", false, "log branch-and-bound progress to stderr")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mipsolve: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	var sinks []obs.Sink
+	closeTrace := func() error { return nil }
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		w := obs.NewJSONLWriter(f)
+		sinks = append(sinks, w)
+		closeTrace = func() error {
+			if err := w.Err(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	if *verbose {
+		sinks = append(sinks, obs.NewLogSink(os.Stderr))
+	}
+	observer := obs.New(obs.Multi(sinks...))
 
 	var r io.Reader = os.Stdin
 	if *input != "" {
@@ -62,13 +99,16 @@ func run() error {
 		return err
 	}
 
-	res := milp.Solve(m, milp.Options{MaxNodes: *maxNodes, TimeLimit: *timeout})
-	fmt.Printf("status: %v\n", res.Status)
-	fmt.Printf("nodes: %d, simplex iterations: %d\n", res.Nodes, res.LPIters)
+	opts := milp.Options{MaxNodes: *maxNodes, TimeLimit: *timeout, Obs: observer}
+	opts.LP.Obs = observer
+	res := milp.Solve(m, opts)
+	fmt.Println(res.String())
+	if err := closeTrace(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
 	if res.X == nil {
 		return nil
 	}
-	fmt.Printf("objective: %g\n", res.Objective)
 	for i, name := range names {
 		fmt.Printf("  %s = %g\n", name, res.X[i])
 	}

@@ -7,6 +7,7 @@ import (
 	"afp/internal/core"
 	"afp/internal/geom"
 	"afp/internal/netlist"
+	"afp/internal/obs"
 )
 
 // Config tunes the annealer.
@@ -27,6 +28,10 @@ type Config struct {
 	// MinTemp stops the schedule. Zero defaults to 1e-4 of the initial
 	// temperature.
 	MinTemp float64
+	// Obs receives one anneal.temp event per temperature step (current
+	// temperature, acceptance stats, current and best cost). Nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Observer
 }
 
 // Floorplan runs simulated annealing over normalized Polish expressions
@@ -87,6 +92,10 @@ func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
 				}
 			}
 		}
+		cfg.Obs.Emit(obs.Event{
+			Kind: obs.KindAnnealTemp, Temp: T, Accepted: accepted,
+			Attempted: cfg.MovesPerTemp, Obj: curCost, Bound: bestCost,
+		})
 		if accepted == 0 {
 			break
 		}

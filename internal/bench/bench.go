@@ -15,10 +15,20 @@ import (
 	"afp/internal/milp"
 	"afp/internal/mipmodel"
 	"afp/internal/netlist"
+	"afp/internal/obs"
 	"afp/internal/order"
 	"afp/internal/route"
 	"afp/internal/seqpair"
 )
+
+// metrics receives per-row timing and counter breakdowns from the table
+// runs; nil (the default) disables collection. See SetMetrics.
+var metrics *obs.Metrics
+
+// SetMetrics installs a collector for per-row timings ("<table>.<row>_ms"
+// keys) and counters. cmd/experiments wires this to its -metrics sidecar;
+// pass nil to disable again. Not safe to call while tables are running.
+func SetMetrics(m *obs.Metrics) { metrics = m }
 
 // Mode selects the effort level of a run.
 type Mode int
@@ -76,6 +86,7 @@ func Table1(mode Mode) ([]Table1Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", d.Name, err)
 		}
+		metrics.Time("table1."+d.Name, time.Since(start))
 		rows = append(rows, Table1Row{
 			Design:   d.Name,
 			Modules:  len(d.Modules),
@@ -168,6 +179,7 @@ func Table2(mode Mode) ([]Table2Row, error) {
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s/%s: %w", ob.name, or.name, err)
 			}
+			metrics.Time("table2."+ob.name+"."+or.name, time.Since(start))
 			rows = append(rows, Table2Row{
 				Objective: ob.name,
 				Ordering:  or.name,
@@ -202,15 +214,20 @@ func Table3(mode Mode) ([]Table3Row, error) {
 		cfg := mode.baseConfig()
 		cfg.Envelopes = env
 		cfg.PitchH, cfg.PitchV = 0.2, 0.2
+		start := time.Now()
 		fp, err := core.Floorplan(d, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("table3 env=%v: %w", env, err)
 		}
+		metrics.Time(fmt.Sprintf("table3.place.env=%v", env), time.Since(start))
 		for _, alg := range []route.Algorithm{route.ShortestPath, route.WeightedShortestPath} {
+			start := time.Now()
 			rr, err := route.Route(fp, route.Config{Algorithm: alg, PitchH: 0.2, PitchV: 0.2})
 			if err != nil {
 				return nil, fmt.Errorf("table3 env=%v alg=%v: %w", env, alg, err)
 			}
+			metrics.Time(fmt.Sprintf("table3.route.env=%v.%s", env, alg), time.Since(start))
+			metrics.Count(fmt.Sprintf("table3.overflow.env=%v.%s", env, alg), int64(rr.Overflow))
 			rows = append(rows, Table3Row{
 				Envelopes:  env,
 				Algorithm:  alg.String(),
@@ -244,6 +261,7 @@ func Baseline(mode Mode) ([]BaselineRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics.Time("baseline.milp", time.Since(start))
 	rows = append(rows, BaselineRow{
 		Method: "milp-successive-augmentation", ChipArea: milpRes.ChipArea(),
 		Util: milpRes.Utilization(), HPWL: milpRes.HPWL(), Time: time.Since(start),
@@ -273,6 +291,7 @@ func Baseline(mode Mode) ([]BaselineRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics.Time("baseline.sa", time.Since(start))
 	rows = append(rows, BaselineRow{
 		Method: "wong-liu-slicing-sa", ChipArea: saRes.ChipArea(),
 		Util: d.TotalArea() / saRes.ChipArea(), HPWL: saRes.HPWL(), Time: time.Since(start),
@@ -283,6 +302,7 @@ func Baseline(mode Mode) ([]BaselineRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics.Time("baseline.seqpair", time.Since(start))
 	rows = append(rows, BaselineRow{
 		Method: "sequence-pair-sa", ChipArea: spRes.ChipArea(),
 		Util: d.TotalArea() / spRes.ChipArea(), HPWL: spRes.HPWL(), Time: time.Since(start),

@@ -8,6 +8,7 @@ import (
 	"afp/internal/milp"
 	"afp/internal/mipmodel"
 	"afp/internal/netlist"
+	"afp/internal/obs"
 )
 
 // FloorplanExact solves the paper's initial formulation (Section 2.3): a
@@ -68,6 +69,11 @@ func FloorplanExact(d *netlist.Design, cfg Config) (*Result, error) {
 	hintEnvs, rotated, dws := bottomLeftHint(spec, nil)
 	opts := c.MILP
 	opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
+	opts.Obs = c.Obs
+	opts.LP.Obs = c.Obs
+	c.Obs.Emit(obs.Event{
+		Kind: obs.KindStepStart, Binaries: len(built.Model.Ints),
+	})
 	mres := milp.Solve(built.Model, opts)
 	if mres.X == nil {
 		return nil, fmt.Errorf("core: exact: %v", mres.Status)
@@ -85,11 +91,17 @@ func FloorplanExact(d *netlist.Design, cfg Config) (*Result, error) {
 		Added:    allIndices(n),
 		Binaries: len(built.Model.Ints),
 		Nodes:    mres.Nodes,
+		LPIters:  mres.LPIters,
 		Status:   mres.Status,
 		Height:   res.Height,
 		Elapsed:  time.Since(start),
 	}}
 	res.Elapsed = time.Since(start)
+	c.Obs.Emit(obs.Event{
+		Kind: obs.KindStepDone, Status: mres.Status.String(), Modules: n,
+		Nodes: mres.Nodes, Iters: mres.LPIters, Obj: mres.Objective,
+		Height: res.Height, DurUS: time.Since(start).Microseconds(),
+	})
 
 	if c.PostOptimize {
 		iters := c.AdjustIterations

@@ -9,6 +9,7 @@ import (
 	"afp/internal/milp"
 	"afp/internal/mipmodel"
 	"afp/internal/netlist"
+	"afp/internal/obs"
 	"afp/internal/order"
 )
 
@@ -69,6 +70,11 @@ type Config struct {
 	// 2.2). Steps whose constraints turn out infeasible are retried
 	// without them and flagged Relaxed in the trace.
 	CriticalMaxLen float64
+	// Obs receives augmentation telemetry (step.start/step.done events)
+	// and is threaded into the MILP and LP layers so a single sink sees
+	// the whole solve. Nil (the default) disables instrumentation at no
+	// cost.
+	Obs *obs.Observer
 }
 
 func (c *Config) withDefaults(d *netlist.Design) Config {
@@ -262,7 +268,13 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 		hintEnvs, rotated, dws := bottomLeftHint(spec, obstacles)
 		opts := c.MILP
 		opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
+		opts.Obs = c.Obs
+		opts.LP.Obs = c.Obs
 
+		c.Obs.Emit(obs.Event{
+			Kind: obs.KindStepStart, Step: step, Modules: pos,
+			Covers: len(obstacles), Binaries: len(built.Model.Ints),
+		})
 		stepStart := time.Now()
 		mres := milp.Solve(built.Model, opts)
 		relaxed := false
@@ -291,6 +303,7 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 			})
 			envs = append(envs, p.Env)
 		}
+		stepHeight := geom.NewSkyline(envs).MaxHeight()
 		res.Steps = append(res.Steps, StepTrace{
 			Step:      step,
 			Added:     append([]int(nil), group...),
@@ -298,10 +311,17 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 			Modules:   pos,
 			Binaries:  len(built.Model.Ints),
 			Nodes:     mres.Nodes,
+			LPIters:   mres.LPIters,
 			Status:    mres.Status,
-			Height:    geom.NewSkyline(envs).MaxHeight(),
+			Height:    stepHeight,
 			Elapsed:   time.Since(stepStart),
 			Relaxed:   relaxed,
+		})
+		c.Obs.Emit(obs.Event{
+			Kind: obs.KindStepDone, Step: step, Status: mres.Status.String(),
+			Modules: e, Nodes: mres.Nodes, Iters: mres.LPIters,
+			Obj: mres.Objective, Height: stepHeight, Relaxed: relaxed,
+			DurUS: time.Since(stepStart).Microseconds(),
 		})
 		pos += e
 		step++

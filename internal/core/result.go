@@ -30,10 +30,11 @@ type Placement struct {
 type StepTrace struct {
 	Step      int
 	Added     []int // design indices placed in this step
-	Obstacles int   // covering rectangles representing the partial floorplan
+	Obstacles int   // covering rectangles (d) representing the partial floorplan
 	Modules   int   // total modules represented by those rectangles
 	Binaries  int   // 0-1 variables in the subproblem
 	Nodes     int   // branch-and-bound nodes
+	LPIters   int   // simplex iterations across all of the step's node solves
 	Status    milp.Status
 	Height    float64 // partial floorplan height after the step
 	Elapsed   time.Duration

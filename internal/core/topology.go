@@ -7,6 +7,7 @@ import (
 	"afp/internal/lp"
 	"afp/internal/mipmodel"
 	"afp/internal/netlist"
+	"afp/internal/obs"
 )
 
 // OptimizeTopology implements Section 2.5 of the paper: with the chip
@@ -41,6 +42,9 @@ func AdjustFloorplan(d *netlist.Design, prev *Result, cfg Config, iters int) (*R
 			return nil, err
 		}
 		cur = opt
+		cfg.Obs.Emit(obs.Event{
+			Kind: obs.KindAdjust, Step: it, Height: opt.Height, Obj: opt.ChipWidth,
+		})
 		// Narrow each flexible interval around the chosen width; the span
 		// halves every iteration.
 		ranges = make(map[int][2]float64)
@@ -234,7 +238,7 @@ func optimizeTopologyRanges(d *netlist.Design, prev *Result, cfg Config, widthRa
 		}
 	}
 
-	sol, err := p.SolveOpts(lp.Options{MaxIter: 200000})
+	sol, err := p.SolveOpts(lp.Options{MaxIter: 200000, Obs: c.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +254,7 @@ func optimizeTopologyRanges(d *netlist.Design, prev *Result, cfg Config, widthRa
 		p.SetObjectiveCoef(t.Var, 0)
 	}
 	p.SetObjectiveCoef(widthV, 1)
-	sol2, err := p.SolveOpts(lp.Options{MaxIter: 200000})
+	sol2, err := p.SolveOpts(lp.Options{MaxIter: 200000, Obs: c.Obs})
 	if err != nil {
 		return nil, err
 	}

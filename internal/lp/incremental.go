@@ -3,6 +3,9 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"afp/internal/obs"
 )
 
 // Incremental is a warm-startable LP solver for box-bounded problems. It
@@ -41,6 +44,8 @@ type Incremental struct {
 	maxIter    int
 	blandLeft  int
 	degenCount int
+	solveDegen int // degenerate pivots within the current Solve
+	o          *obs.Observer
 }
 
 // ErrUnboundedColumn reports that no dual-feasible starting point exists
@@ -62,7 +67,7 @@ func NewIncremental(p *Problem, opt Options) (*Incremental, error) {
 	m := len(p.rows)
 	inc := &Incremental{
 		p: p, m: m, n: n, ncols: n + m, sign: 1,
-		maxIter: maxIter,
+		maxIter: maxIter, o: opt.Obs,
 	}
 	if p.maximize {
 		inc.sign = -1
@@ -205,7 +210,9 @@ func (inc *Incremental) SetBounds(v VarID, lo, hi float64) {
 // Solve restores primal feasibility by dual simplex pivots and returns
 // the optimum. The returned solution shares no state with the solver.
 func (inc *Incremental) Solve() (*Solution, error) {
+	start := time.Now()
 	inc.solves++
+	inc.solveDegen = 0
 	// Periodic full rebuild bounds numerical drift from long pivot chains.
 	if inc.solves%256 == 0 {
 		if err := inc.rebuild(); err != nil {
@@ -214,7 +221,7 @@ func (inc *Incremental) Solve() (*Solution, error) {
 	}
 	iterStart := inc.iter
 	st := inc.dualSimplex()
-	sol := &Solution{Status: st, Iterations: inc.iter - iterStart}
+	sol := &Solution{Status: st, Iterations: inc.iter - iterStart, DegeneratePivots: inc.solveDegen}
 	if st == StatusOptimal || st == StatusIterLimit {
 		x := make([]float64, inc.n)
 		for j := 0; j < inc.n; j++ {
@@ -234,6 +241,13 @@ func (inc *Incremental) Solve() (*Solution, error) {
 		}
 		sol.X = x
 		sol.Objective = obj
+	}
+	if inc.o.Enabled() {
+		inc.o.Emit(obs.Event{
+			Kind: obs.KindLPSolve, Status: st.String(), Obj: sol.Objective,
+			Iters: sol.Iterations, Degenerate: inc.solveDegen,
+			DurUS: time.Since(start).Microseconds(), Warm: true,
+		})
 	}
 	return sol, nil
 }
@@ -328,6 +342,7 @@ func (inc *Incremental) dualPivot(r int, needIncrease bool) bool {
 		return false
 	}
 	if bestRatio < zeroTol {
+		inc.solveDegen++
 		inc.degenCount++
 		if inc.degenCount > 200 && inc.blandLeft == 0 {
 			inc.blandLeft = 500

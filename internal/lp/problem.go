@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"afp/internal/obs"
 )
 
 // VarID identifies a variable of a Problem.
@@ -196,6 +198,15 @@ type Solution struct {
 	X          []float64 // one value per variable, in AddVariable order
 	Iterations int       // simplex pivots performed (both phases)
 
+	// Phase1Iterations is the share of Iterations spent restoring
+	// feasibility (zero for warm-started dual-simplex solves).
+	Phase1Iterations int
+	// DegeneratePivots counts pivots with zero step length.
+	DegeneratePivots int
+	// BoundFlips counts pivots where the entering variable traversed its
+	// whole range without a basis change.
+	BoundFlips int
+
 	// Duals holds one dual value per constraint (in AddConstraint order)
 	// and ReducedCosts one reduced cost per variable, both in the
 	// problem's own objective sense and populated only at StatusOptimal.
@@ -217,6 +228,10 @@ type Options struct {
 	// MaxIter bounds the total number of simplex pivots (both phases).
 	// Zero means the default of 50000.
 	MaxIter int
+	// Obs receives one lp.solve event per solve with iteration, pivot and
+	// phase-timing telemetry. Nil (the default) disables instrumentation
+	// at no cost.
+	Obs *obs.Observer
 }
 
 // ErrBadModel is returned for structurally invalid problems (no variables).

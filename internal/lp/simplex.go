@@ -3,6 +3,9 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"afp/internal/obs"
 )
 
 // Numerical tolerances of the simplex engine. Floorplanning models have
@@ -44,10 +47,15 @@ type tableau struct {
 	iter, maxIter int
 	blandLeft     int // remaining forced-Bland pivots after degeneracy streak
 	degenStreak   int
+
+	// telemetry counters for the lp.solve event / Solution stats
+	degen int // degenerate pivots (zero step length)
+	flips int // bound flips (no basis change)
 }
 
 // solveSimplex runs the two-phase bounded-variable simplex on p.
 func solveSimplex(p *Problem, opt Options) (*Solution, error) {
+	start := time.Now()
 	maxIter := opt.MaxIter
 	if maxIter <= 0 {
 		maxIter = defaultMaxIter
@@ -167,6 +175,8 @@ func solveSimplex(p *Problem, opt Options) (*Solution, error) {
 	}
 
 	// Phase 1: minimize the sum of artificials.
+	var p1Iters int
+	var p1Dur time.Duration
 	if nArt > 0 {
 		cost := make([]float64, ncols)
 		for j := artStart; j < ncols; j++ {
@@ -174,11 +184,16 @@ func solveSimplex(p *Problem, opt Options) (*Solution, error) {
 		}
 		tb.setPhaseCost(cost)
 		st := tb.iterate()
+		p1Iters, p1Dur = tb.iter, time.Since(start)
 		if st == StatusIterLimit {
-			return &Solution{Status: StatusIterLimit, X: tb.extract(p), Iterations: tb.iter}, nil
+			sol := &Solution{Status: StatusIterLimit, X: tb.extract(p), Iterations: tb.iter}
+			finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start))
+			return sol, nil
 		}
 		if tb.phaseObjective() > feasTol*(1+absMax(rhs)) {
-			return &Solution{Status: StatusInfeasible, X: tb.extract(p), Iterations: tb.iter}, nil
+			sol := &Solution{Status: StatusInfeasible, X: tb.extract(p), Iterations: tb.iter}
+			finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start))
+			return sol, nil
 		}
 		tb.driveOutArtificials()
 		// Lock artificials at zero so they can never re-enter.
@@ -211,7 +226,24 @@ func solveSimplex(p *Problem, opt Options) (*Solution, error) {
 	if st == StatusOptimal {
 		sol.Duals, sol.ReducedCosts = tb.duals(p, slackCol, artCol, negated, sign)
 	}
+	finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start))
 	return sol, nil
+}
+
+// finishSolve copies the tableau's telemetry counters into the solution
+// and emits the per-solve lp.solve event when an observer is attached.
+func finishSolve(opt Options, sol *Solution, tb *tableau, p1Iters int, p1Dur, total time.Duration) {
+	sol.Phase1Iterations = p1Iters
+	sol.DegeneratePivots = tb.degen
+	sol.BoundFlips = tb.flips
+	if opt.Obs.Enabled() {
+		opt.Obs.Emit(obs.Event{
+			Kind: obs.KindLPSolve, Status: sol.Status.String(), Obj: sol.Objective,
+			Iters: sol.Iterations, Phase1Iters: p1Iters,
+			Degenerate: tb.degen, BoundFlips: tb.flips,
+			DurUS: total.Microseconds(), Phase1US: p1Dur.Microseconds(),
+		})
+	}
 }
 
 // duals recovers constraint duals and structural reduced costs from the
@@ -415,6 +447,7 @@ func (tb *tableau) pivotOn(e int, sigma float64) (unbounded bool) {
 
 	// Track degeneracy for the Bland fallback.
 	if tMax < zeroTol {
+		tb.degen++
 		tb.degenStreak++
 		if tb.degenStreak > 100 && tb.blandLeft == 0 {
 			tb.blandLeft = 500
@@ -429,6 +462,7 @@ func (tb *tableau) pivotOn(e int, sigma float64) (unbounded bool) {
 	if leave < 0 {
 		// Bound flip: entering traverses its whole range without any basic
 		// variable blocking.
+		tb.flips++
 		for r := 0; r < tb.m; r++ {
 			tb.beta[r] -= sigma * tb.T[r][e] * tb.u[e]
 		}

@@ -8,10 +8,12 @@
 package milp
 
 import (
+	"fmt"
 	"math"
 	"time"
 
 	"afp/internal/lp"
+	"afp/internal/obs"
 )
 
 // intTol is the integrality tolerance: a value within intTol of an integer
@@ -84,6 +86,15 @@ type Options struct {
 	// prefer it when node throughput matters more than heuristic placement
 	// quality (see BenchmarkAblationWarmStart).
 	WarmStart bool
+	// Obs receives branch-and-bound telemetry: node open/close/prune
+	// events, incumbent updates, periodic progress probes and a final
+	// search summary. Nil (the default) disables instrumentation at no
+	// cost. To also trace every node's LP solve, set Obs on the LP
+	// options as well.
+	Obs *obs.Observer
+	// ProgressEvery emits an obs progress probe every that many explored
+	// nodes; 0 means 512. Ignored without Obs.
+	ProgressEvery int
 }
 
 // Status reports the outcome of a MILP solve.
@@ -123,6 +134,30 @@ type Result struct {
 	BestBound float64   // proven bound on the optimum (original sense)
 }
 
+// Gap returns the relative MIP gap |Objective - BestBound| /
+// max(1e-10, |Objective|). Without an incumbent, or without a finite
+// proven bound, the gap is +Inf.
+func (r *Result) Gap() float64 {
+	if r.X == nil || math.IsInf(r.BestBound, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(r.Objective-r.BestBound) / math.Max(1e-10, math.Abs(r.Objective))
+}
+
+// String is a one-line solve summary: status, incumbent objective,
+// proven bound, relative gap and search effort.
+func (r *Result) String() string {
+	if r.X == nil {
+		return fmt.Sprintf("status: %s nodes: %d lp-iters: %d", r.Status, r.Nodes, r.LPIters)
+	}
+	gap := "inf"
+	if g := r.Gap(); !math.IsInf(g, 0) {
+		gap = fmt.Sprintf("%.4g%%", 100*g)
+	}
+	return fmt.Sprintf("status: %s objective: %g bound: %g gap: %s nodes: %d lp-iters: %d",
+		r.Status, r.Objective, r.BestBound, gap, r.Nodes, r.LPIters)
+}
+
 // node is one open subproblem: the integer-variable bounds along its path.
 type node struct {
 	lo, hi    []float64 // bounds for m.Ints, in order
@@ -130,6 +165,7 @@ type node struct {
 	depth     int
 	branchVar int  // index into m.Ints of the variable branched to create this node; -1 at root
 	branchUp  bool // direction of that branch
+	id        int  // creation-order id for telemetry (root = 1)
 }
 
 type solver struct {
@@ -147,9 +183,66 @@ type solver struct {
 	nodes   int
 	lpIters int
 
+	// telemetry
+	o        *obs.Observer
+	start    time.Time
+	pushed   int // nodes created (node.open events)
+	prunedN  int // nodes discarded without an LP solve
+	probeGap int // nodes between progress probes
+
 	// pseudo-cost history
 	psUp, psDown   []float64
 	psUpN, psDownN []int
+}
+
+// emitOpen registers a freshly created node and reports it. It must be
+// called exactly once per node so that the trace invariant
+// opened == closed + pruned + open-at-exit holds.
+func (s *solver) emitOpen(n *node) {
+	s.pushed++
+	n.id = s.pushed
+	if s.o.Enabled() {
+		s.o.Emit(obs.Event{
+			Kind: obs.KindNodeOpen, Node: n.id, Depth: n.depth,
+			Bound: s.sign * n.bound, BranchVar: n.branchVar,
+		})
+	}
+}
+
+// emitClose reports a node fully processed after its LP solve.
+func (s *solver) emitClose(n *node, detail string, obj float64) {
+	if s.o.Enabled() {
+		s.o.Emit(obs.Event{
+			Kind: obs.KindNodeClose, Node: n.id, Depth: n.depth,
+			Detail: detail, Obj: s.sign * obj,
+		})
+	}
+}
+
+// emitProgress reports the periodic search probe: explored/open counts,
+// incumbent, proven bound and relative gap.
+func (s *solver) emitProgress(stack []*node, curObj float64) {
+	lb := math.Min(minOpenBound(stack), curObj)
+	e := obs.Event{
+		Kind: obs.KindProgress, Nodes: s.nodes, Open: len(stack),
+		Iters: s.lpIters, Bound: s.sign * lb,
+	}
+	if s.haveInc {
+		e.Obj = s.sign * s.incumbentObj
+		e.Gap = relGap(s.incumbentObj, lb)
+	} else {
+		e.Gap = math.Inf(1)
+	}
+	s.o.Emit(e)
+}
+
+// relGap is the relative MIP gap between an incumbent and a bound, both
+// in minimize sense.
+func relGap(inc, bound float64) float64 {
+	if math.IsInf(bound, 0) || math.IsInf(inc, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(inc-bound) / math.Max(1e-10, math.Abs(inc))
 }
 
 // Solve runs branch and bound and returns the result. The model's Problem
@@ -161,12 +254,18 @@ func Solve(m *Model, opt Options) *Result {
 	if opt.AbsGap <= 0 {
 		opt.AbsGap = 1e-6
 	}
+	if opt.ProgressEvery <= 0 {
+		opt.ProgressEvery = 512
+	}
 	s := &solver{
 		m:            m,
 		opt:          opt,
 		work:         m.P.Clone(),
 		sign:         1,
 		incumbentObj: math.Inf(1),
+		o:            opt.Obs,
+		start:        time.Now(),
+		probeGap:     opt.ProgressEvery,
 		psUp:         make([]float64, len(m.Ints)),
 		psDown:       make([]float64, len(m.Ints)),
 		psUpN:        make([]int, len(m.Ints)),
@@ -242,6 +341,10 @@ func (s *solver) tryIncumbentHint(hint []float64, rootLo, rootHi []float64) {
 		s.incumbent = append([]float64(nil), sol.X...)
 		s.incumbentObj = obj
 		s.haveInc = true
+		if s.o.Enabled() {
+			// Node 0 marks incumbents from hints/dives, outside the tree.
+			s.o.Emit(obs.Event{Kind: obs.KindIncumbent, Obj: s.sign * obj, Nodes: s.nodes})
+		}
 	}
 }
 
@@ -260,6 +363,7 @@ func (s *solver) run() *Result {
 	}
 
 	root := &node{lo: rootLo, hi: rootHi, bound: math.Inf(-1), branchVar: -1}
+	s.emitOpen(root)
 	stack := []*node{root}
 	bestOpenBound := math.Inf(-1)
 	hitLimit := false
@@ -276,21 +380,34 @@ func (s *solver) run() *Result {
 
 		// Prune by parent bound before paying for an LP solve.
 		if s.haveInc && n.bound >= s.incumbentObj-s.opt.AbsGap {
+			s.prunedN++
+			if s.o.Enabled() {
+				s.o.Emit(obs.Event{
+					Kind: obs.KindNodePrune, Node: n.id, Depth: n.depth,
+					Bound: s.sign * n.bound,
+				})
+			}
 			continue
 		}
 
 		s.nodes++
+		if s.o.Enabled() && s.nodes%s.probeGap == 0 {
+			s.emitProgress(stack, n.bound)
+		}
 		s.setIntBounds(n)
 		sol, obj := s.solveLP()
 		if sol == nil {
+			s.emitClose(n, "lperror", n.bound)
 			continue
 		}
 		switch sol.Status {
 		case lp.StatusInfeasible:
+			s.emitClose(n, "infeasible", n.bound)
 			continue
 		case lp.StatusUnbounded:
+			s.emitClose(n, "unbounded", n.bound)
 			if s.nodes == 1 {
-				return s.result(StatusUnbounded, bestOpenBound)
+				return s.result(StatusUnbounded, bestOpenBound, len(stack))
 			}
 			continue
 		case lp.StatusIterLimit:
@@ -301,6 +418,7 @@ func (s *solver) run() *Result {
 			s.recordPseudo(n.branchVar, n.branchUp, obj-n.bound)
 		}
 		if s.haveInc && obj >= s.incumbentObj-s.opt.AbsGap {
+			s.emitClose(n, "bound", obj)
 			continue
 		}
 
@@ -311,7 +429,14 @@ func (s *solver) run() *Result {
 				s.incumbent = append([]float64(nil), sol.X...)
 				s.incumbentObj = obj
 				s.haveInc = true
+				if s.o.Enabled() {
+					s.o.Emit(obs.Event{
+						Kind: obs.KindIncumbent, Node: n.id, Depth: n.depth,
+						Obj: s.sign * obj, Nodes: s.nodes,
+					})
+				}
 			}
+			s.emitClose(n, "integer", obj)
 			continue
 		}
 
@@ -327,6 +452,9 @@ func (s *solver) run() *Result {
 		down.hi[frac] = fl
 		up := &node{lo: cloneF(n.lo), hi: cloneF(n.hi), bound: obj, depth: n.depth + 1, branchVar: frac, branchUp: true}
 		up.lo[frac] = fl + 1
+		s.emitClose(n, "branched", obj)
+		s.emitOpen(down)
+		s.emitOpen(up)
 
 		// Dive toward the nearest integer first (pushed last = popped first).
 		if x-fl < 0.5 {
@@ -338,14 +466,14 @@ func (s *solver) run() *Result {
 
 	if !s.haveInc {
 		if hitLimit {
-			return s.result(StatusLimit, bestOpenBound)
+			return s.result(StatusLimit, bestOpenBound, len(stack))
 		}
-		return s.result(StatusInfeasible, bestOpenBound)
+		return s.result(StatusInfeasible, bestOpenBound, len(stack))
 	}
 	if hitLimit {
-		return s.result(StatusFeasible, bestOpenBound)
+		return s.result(StatusFeasible, bestOpenBound, len(stack))
 	}
-	return s.result(StatusOptimal, s.incumbentObj)
+	return s.result(StatusOptimal, s.incumbentObj, len(stack))
 }
 
 func minOpenBound(stack []*node) float64 {
@@ -414,7 +542,7 @@ func (s *solver) recordPseudo(k int, up bool, degradation float64) {
 	}
 }
 
-func (s *solver) result(st Status, bound float64) *Result {
+func (s *solver) result(st Status, bound float64, openLeft int) *Result {
 	r := &Result{
 		Status:  st,
 		Nodes:   s.nodes,
@@ -429,5 +557,14 @@ func (s *solver) result(st Status, bound float64) *Result {
 		bound = math.Inf(-1)
 	}
 	r.BestBound = s.sign * bound
+	if s.o.Enabled() {
+		s.o.Emit(obs.Event{
+			Kind: obs.KindSearchDone, Status: st.String(),
+			Obj: r.Objective, Bound: r.BestBound, Gap: r.Gap(),
+			Nodes: s.nodes, Iters: s.lpIters,
+			Open: openLeft, Pruned: s.prunedN,
+			DurUS: time.Since(s.start).Microseconds(),
+		})
+	}
 	return r
 }

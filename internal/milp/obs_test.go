@@ -1,0 +1,120 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"afp/internal/lp"
+	"afp/internal/obs"
+)
+
+// checkNodeAccounting verifies the node-lifecycle invariant over a
+// recorded trace: every opened node is eventually closed or pruned, or is
+// still on the stack when the search stops (the Open count of the final
+// search.done event).
+func checkNodeAccounting(t *testing.T, rec *obs.Recorder, res *Result) {
+	t.Helper()
+	opened := rec.CountKind(obs.KindNodeOpen)
+	closed := rec.CountKind(obs.KindNodeClose)
+	pruned := rec.CountKind(obs.KindNodePrune)
+	done, ok := rec.LastKind(obs.KindSearchDone)
+	if !ok {
+		t.Fatal("no search.done event recorded")
+	}
+	if opened != closed+pruned+done.Open {
+		t.Errorf("node accounting: opened %d != closed %d + pruned %d + open %d",
+			opened, closed, pruned, done.Open)
+	}
+	if done.Nodes != res.Nodes {
+		t.Errorf("search.done Nodes = %d, Result.Nodes = %d", done.Nodes, res.Nodes)
+	}
+	if done.Iters != res.LPIters {
+		t.Errorf("search.done Iters = %d, Result.LPIters = %d", done.Iters, res.LPIters)
+	}
+	if done.Status != res.Status.String() {
+		t.Errorf("search.done Status = %q, Result.Status = %q", done.Status, res.Status)
+	}
+	// Closed nodes are the ones whose LP was actually solved.
+	if closed != res.Nodes {
+		t.Errorf("node.close count %d != Result.Nodes %d", closed, res.Nodes)
+	}
+}
+
+func TestObserverKnapsackNodeAccounting(t *testing.T) {
+	rec := &obs.Recorder{}
+	res := solveKnapsack(t, Options{Obs: obs.New(rec)})
+	if res.Status != StatusOptimal || math.Abs(res.Objective-22) > 1e-6 {
+		t.Fatalf("knapsack under observation changed result: %+v", res)
+	}
+	checkNodeAccounting(t, rec, res)
+	if rec.CountKind(obs.KindIncumbent) == 0 {
+		t.Error("no incumbent events recorded for a solved knapsack")
+	}
+}
+
+func TestObserverRandomMIPNodeAccounting(t *testing.T) {
+	// Larger random instances exercise bound pruning and (with tight node
+	// limits) searches that stop with nodes still open.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		p := lp.NewProblem()
+		p.SetMaximize(true)
+		m := NewModel(p)
+		n := 8 + rng.Intn(5)
+		vars := make([]lp.VarID, n)
+		var terms []lp.Term
+		for i := range vars {
+			vars[i] = m.AddBinary("x", 1+rng.Float64()*9)
+			terms = append(terms, lp.Term{Var: vars[i], Coef: 1 + rng.Float64()*4})
+		}
+		p.AddConstraint("cap", terms, lp.LE, float64(n))
+
+		rec := &obs.Recorder{}
+		opt := Options{Obs: obs.New(rec)}
+		if trial%2 == 1 {
+			opt.MaxNodes = 5 // force an early stop with open nodes
+		}
+		res := Solve(m, opt)
+		checkNodeAccounting(t, rec, res)
+	}
+}
+
+func TestObserverMatchesUnobservedSolve(t *testing.T) {
+	// Observation must not perturb the search.
+	plain := solveKnapsack(t, Options{})
+	rec := &obs.Recorder{}
+	observed := solveKnapsack(t, Options{Obs: obs.New(rec)})
+	if plain.Objective != observed.Objective || plain.Nodes != observed.Nodes ||
+		plain.LPIters != observed.LPIters || plain.Status != observed.Status {
+		t.Errorf("observed solve differs: plain %v/%d/%d, observed %v/%d/%d",
+			plain.Status, plain.Nodes, plain.LPIters,
+			observed.Status, observed.Nodes, observed.LPIters)
+	}
+}
+
+func TestResultGap(t *testing.T) {
+	res := solveKnapsack(t, Options{})
+	if g := res.Gap(); g > 1e-6 {
+		t.Errorf("optimal knapsack gap = %g, want ~0", g)
+	}
+	empty := &Result{Status: StatusInfeasible, BestBound: math.Inf(1)}
+	if g := empty.Gap(); !math.IsInf(g, 1) {
+		t.Errorf("gap without incumbent = %g, want +inf", g)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := solveKnapsack(t, Options{})
+	s := res.String()
+	for _, want := range []string{"status: optimal", "objective: 22", "gap:", "nodes:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Result.String() = %q missing %q", s, want)
+		}
+	}
+	empty := &Result{Status: StatusInfeasible}
+	if s := empty.String(); !strings.Contains(s, "status: infeasible") {
+		t.Errorf("empty Result.String() = %q", s)
+	}
+}

@@ -21,8 +21,9 @@ type Graph struct {
 	Nodes  []Node
 	Edges  []Edge
 
-	nodeAt map[[2]int]int // (xi, yi) -> node index
-	adj    [][]int        // node -> incident edge indices
+	nodeAt  map[[2]int]int // (xi, yi) -> node index
+	adj     [][]int        // node -> incident edge indices
+	meanLen float64        // mean edge length, scales congestion penalties
 }
 
 // Node is one channel intersection.
@@ -141,6 +142,10 @@ func buildGraph(envs []geom.Rect, chipW, chipH, pitchH, pitchV float64) *Graph {
 	for ei, e := range g.Edges {
 		g.adj[e.A] = append(g.adj[e.A], ei)
 		g.adj[e.B] = append(g.adj[e.B], ei)
+		g.meanLen += e.Len
+	}
+	if len(g.Edges) > 0 {
+		g.meanLen /= float64(len(g.Edges))
 	}
 	return g
 }

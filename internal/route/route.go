@@ -262,12 +262,18 @@ func (g *Graph) edgeCost(e *Edge, cfg Config) float64 {
 	if cfg.Algorithm == ShortestPath {
 		return e.Len + 1e-9 // epsilon keeps zero-length paths acyclic
 	}
-	// Weighted: beyond capacity every extra track costs Penalty times more.
+	// Weighted: every track beyond capacity adds a length-independent
+	// penalty scaled by the mean channel length, so the marginal cost of
+	// one overflow unit is uniform across long and short channels. (A
+	// length-proportional penalty makes short saturated channels nearly
+	// free to cross; detours then chain many short over-capacity
+	// channels, each adding a full overflow unit, and the weighted
+	// router produces more overflow than plain shortest path.)
 	over := e.Util + 1 - e.Cap
 	if over <= 0 {
 		return e.Len + 1e-9
 	}
-	return e.Len*(1+cfg.Penalty*float64(over)) + 1e-9
+	return e.Len + cfg.Penalty*float64(over)*g.meanLen + 1e-9
 }
 
 type nodeDist struct {
