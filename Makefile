@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci vet race bench clean
+.PHONY: all build test ci vet race bench serve e2e clean
 
 all: build
 
@@ -14,13 +14,23 @@ test:
 	$(GO) test ./...
 
 # race runs the race detector over the packages with concurrency-sensitive
-# instrumentation (the observability sinks and the solvers they observe).
+# instrumentation and concurrency proper: the observability sinks, the
+# solvers they observe, the width-sweep driver and the HTTP service.
 race:
-	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp
+	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp ./internal/server ./internal/core
 
 # ci is the gate run before merging: static checks, a full build, and the
 # race-instrumented solver tests.
 ci: vet build race
+
+# serve runs the HTTP solve service locally (see DESIGN.md section 8).
+serve:
+	$(GO) run ./cmd/floorpland -addr 127.0.0.1:8080 -verbose
+
+# e2e drives the compiled binaries end to end, including the floorpland
+# boot / submit / poll / trace / SIGINT-drain cycle.
+e2e:
+	$(GO) test -run 'CLI|E2E' -v .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -12,14 +12,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"afp/internal/anneal"
@@ -65,8 +69,19 @@ func run() error {
 		verbose   = flag.Bool("verbose", false, "log solver progress to stderr and print per-step traces")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		sweep     = flag.Bool("sweep", false, "try several chip widths and keep the best floorplan")
+		timeout   = flag.Duration("timeout", 0, "overall solve deadline (0 = none); the partial floorplan is still reported")
 	)
 	flag.Parse()
+
+	// -timeout and Ctrl-C both cancel through the context, down to the
+	// simplex pivot loop; the floorplan built so far is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, *timeout)
+		defer cancelT()
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -93,9 +108,12 @@ func run() error {
 
 	if *method == "sa" {
 		start := time.Now()
-		r, err := anneal.Floorplan(d, anneal.Config{Seed: *seed, Obs: observer})
+		r, err := anneal.FloorplanCtx(ctx, d, anneal.Config{Seed: *seed, Obs: observer})
 		if err != nil {
-			return err
+			if r == nil || !isCtxErr(err) {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "floorplan: annealing stopped early (%v); best incumbent follows\n", err)
 		}
 		fmt.Printf("design %s: %d modules, total area %.0f\n", d.Name, len(d.Modules), d.TotalArea())
 		fmt.Printf("SA slicing: chip %.1f x %.1f, area %.0f, utilization %.1f%%, HPWL %.0f, %v\n",
@@ -141,9 +159,10 @@ func run() error {
 
 	start := time.Now()
 	var r *core.Result
+	partial := false
 	if *sweep {
 		var trials []core.SweepResult
-		r, trials, err = core.FloorplanBestWidth(d, cfg, []float64{0.85, 0.95, 1.05, 1.15})
+		r, trials, err = core.FloorplanBestWidthCtx(ctx, d, cfg, []float64{0.85, 0.95, 1.05, 1.15})
 		if err != nil {
 			return err
 		}
@@ -156,12 +175,22 @@ func run() error {
 				tr.Width, tr.Result.ChipArea(), 100*tr.Result.Utilization())
 		}
 	} else {
-		r, err = core.Floorplan(d, cfg)
+		r, err = core.FloorplanCtx(ctx, d, cfg)
 		if err != nil {
-			return err
+			if r == nil || !isCtxErr(err) {
+				return err
+			}
+			// Deadline or Ctrl-C mid-solve: report the partial floorplan
+			// (the best incumbent of the completed augmentation steps).
+			partial = true
+			fmt.Fprintf(os.Stderr, "floorplan: stopped early (%v); %d of %d modules placed\n",
+				err, len(r.Placements), len(d.Modules))
 		}
 	}
 	fmt.Printf("design %s: %d modules, total area %.0f\n", d.Name, len(d.Modules), d.TotalArea())
+	if partial {
+		fmt.Printf("PARTIAL floorplan (%d/%d modules placed):\n", len(r.Placements), len(d.Modules))
+	}
 	fmt.Printf("chip %.1f x %.1f, area %.0f, utilization %.1f%%, HPWL %.0f, %v\n",
 		r.ChipWidth, r.Height, r.ChipArea(), 100*r.Utilization(), r.HPWL(),
 		time.Since(start).Round(time.Millisecond))
@@ -174,7 +203,10 @@ func run() error {
 	}
 
 	var rt *route.Result
-	if *doRoute {
+	if *doRoute && partial {
+		fmt.Fprintln(os.Stderr, "floorplan: skipping routing of a partial floorplan")
+	}
+	if *doRoute && !partial {
 		alg := route.ShortestPath
 		if *weighted {
 			alg = route.WeightedShortestPath
@@ -205,6 +237,12 @@ func run() error {
 		return writeSVG(*svgOut, r, rt)
 	}
 	return nil
+}
+
+// isCtxErr reports whether err stems from cancellation or a deadline —
+// the cases where a partial result is expected and worth printing.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // setupObserver builds the shared observer from the -trace and -verbose

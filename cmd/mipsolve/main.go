@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,8 +28,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"afp/internal/lp"
@@ -99,9 +102,23 @@ func run() error {
 		return err
 	}
 
-	opts := milp.Options{MaxNodes: *maxNodes, TimeLimit: *timeout, Obs: observer}
+	// The deadline and Ctrl-C both flow through the context, enforced
+	// down in the simplex pivot loop; an interrupted search still reports
+	// its best incumbent and proven bound below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := milp.Options{MaxNodes: *maxNodes, Obs: observer}
 	opts.LP.Obs = observer
-	res := milp.Solve(m, opts)
+	res := milp.SolveCtx(ctx, m, opts)
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "mipsolve: search stopped early:", err)
+	}
 	fmt.Println(res.String())
 	if err := closeTrace(); err != nil {
 		return fmt.Errorf("trace: %w", err)

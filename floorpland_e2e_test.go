@@ -1,0 +1,319 @@
+// End-to-end test of the floorpland service binary: boots the server on
+// an ephemeral port, drives the job lifecycle over real HTTP, and shuts
+// it down with SIGINT.
+package afp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// captureWriter collects the child's stdout and hands the first line
+// (the listen-address announcement) to the test as soon as it appears.
+type captureWriter struct {
+	mu        sync.Mutex
+	buf       bytes.Buffer
+	firstLine chan string
+	sentFirst bool
+}
+
+func newCaptureWriter() *captureWriter {
+	return &captureWriter{firstLine: make(chan string, 1)}
+}
+
+func (w *captureWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sentFirst {
+		if i := bytes.IndexByte(w.buf.Bytes(), '\n'); i >= 0 {
+			w.sentFirst = true
+			w.firstLine <- strings.TrimRight(string(w.buf.Bytes()[:i]), "\r")
+		}
+	}
+	return len(p), nil
+}
+
+func (w *captureWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// startFloorpland launches the daemon with the given extra flags and
+// returns its base URL plus a stop function that SIGINTs the process
+// and returns its full stdout.
+func startFloorpland(t *testing.T, args ...string) (string, func() string) {
+	t.Helper()
+	bin := filepath.Join(buildCLIs(t), "floorpland")
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	out := newCaptureWriter()
+	cmd.Stdout = out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first stdout line announces the resolved address.
+	var line string
+	select {
+	case line = <-out.firstLine:
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("floorpland printed no listen address")
+	}
+	addr, ok := strings.CutPrefix(line, "listening on ")
+	if !ok {
+		_ = cmd.Process.Kill()
+		t.Fatalf("unexpected first line %q", line)
+	}
+
+	stopped := false
+	stop := func() string {
+		if stopped {
+			return out.String()
+		}
+		stopped = true
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("floorpland exited with error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Error("floorpland did not exit within 30s of SIGINT")
+			<-done
+		}
+		return out.String()
+	}
+	t.Cleanup(func() { stop() })
+	return "http://" + addr, stop
+}
+
+func httpJSON(t *testing.T, method, url string, body string, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollJob polls until the job is terminal and returns its final state.
+func pollJob(t *testing.T, base, id string, timeout time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var v map[string]any
+		if code := httpJSON(t, "GET", base+"/v1/jobs/"+id, "", &v); code != http.StatusOK {
+			t.Fatalf("job poll status %d", code)
+		}
+		switch v["state"] {
+		case "done", "failed", "cancelled":
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %v after %v", id, v["state"], timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestE2EFloorplandSolveAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	base, stop := startFloorpland(t, "-workers", "1")
+
+	// Submit, poll to completion, fetch the result.
+	var sub map[string]any
+	code := httpJSON(t, "POST", base+"/v1/solve", `{"generate":"rand","n":8,"seed":3}`, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", code, sub)
+	}
+	id, _ := sub["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", sub)
+	}
+	v := pollJob(t, base, id, 60*time.Second)
+	if v["state"] != "done" {
+		t.Fatalf("job finished %v (%v)", v["state"], v["error"])
+	}
+
+	var res map[string]any
+	if code := httpJSON(t, "GET", base+"/v1/jobs/"+id+"/result", "", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if res["placed"] != float64(8) {
+		t.Fatalf("placed = %v, want 8", res["placed"])
+	}
+
+	// The trace endpoint serves the job's solver telemetry as JSONL.
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	kinds := map[string]bool{}
+	for dec.More() {
+		var e map[string]any
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("trace not valid JSONL: %v", err)
+		}
+		if k, _ := e["kind"].(string); k != "" {
+			kinds[k] = true
+		}
+	}
+	if !kinds["step.done"] || !kinds["search.done"] {
+		t.Fatalf("trace missing solver events: %v", kinds)
+	}
+
+	// An identical submission is served from the cache.
+	var sub2 map[string]any
+	if code := httpJSON(t, "POST", base+"/v1/solve", `{"generate":"rand","n":8,"seed":3}`, &sub2); code != http.StatusOK {
+		t.Fatalf("cached submit status %d: %v", code, sub2)
+	}
+	if sub2["cached"] != true {
+		t.Fatalf("second submission not cached: %v", sub2)
+	}
+	var metrics map[string]float64
+	httpJSON(t, "GET", base+"/metrics", "", &metrics)
+	if metrics["cache_hit"] != 1 {
+		t.Fatalf("metrics cache_hit = %v, want 1", metrics["cache_hit"])
+	}
+
+	out := stop()
+	if !strings.Contains(out, "drained cleanly") {
+		t.Fatalf("shutdown output missing drain message:\n%s", out)
+	}
+}
+
+func TestE2EFloorplandCancelFreesWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	base, _ := startFloorpland(t, "-workers", "1")
+
+	// Occupy the single worker with a seconds-long solve.
+	var long map[string]any
+	if code := httpJSON(t, "POST", base+"/v1/solve", `{"generate":"rand","n":24,"seed":7}`, &long); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	longID, _ := long["id"].(string)
+	time.Sleep(100 * time.Millisecond)
+
+	if code := httpJSON(t, "DELETE", base+"/v1/jobs/"+longID, "", nil); code != http.StatusOK {
+		t.Fatalf("cancel status %d", code)
+	}
+	lv := pollJob(t, base, longID, 15*time.Second)
+	if lv["state"] != "cancelled" && lv["state"] != "done" {
+		t.Fatalf("long job state %v", lv["state"])
+	}
+
+	// The freed slot must pick up and finish a quick job.
+	var quick map[string]any
+	if code := httpJSON(t, "POST", base+"/v1/solve", `{"generate":"rand","n":6,"seed":1}`, &quick); code != http.StatusAccepted {
+		t.Fatalf("quick submit status %d", code)
+	}
+	qv := pollJob(t, base, quick["id"].(string), 60*time.Second)
+	if qv["state"] != "done" {
+		t.Fatalf("quick job after cancel: %v (%v)", qv["state"], qv["error"])
+	}
+}
+
+func TestE2EFloorplandDeadlinePartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	base, _ := startFloorpland(t, "-workers", "1")
+
+	start := time.Now()
+	var sub map[string]any
+	code := httpJSON(t, "POST", base+"/v1/solve",
+		`{"generate":"rand","n":24,"seed":7,"options":{"timeoutMs":100}}`, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	v := pollJob(t, base, sub["id"].(string), 10*time.Second)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline job resolved after %v", elapsed)
+	}
+	if v["state"] == "done" && v["partial"] == true {
+		var res map[string]any
+		if code := httpJSON(t, "GET", base+"/v1/jobs/"+sub["id"].(string)+"/result", "", &res); code != http.StatusOK {
+			t.Fatalf("result status %d", code)
+		}
+		if res["partial"] != true {
+			t.Fatalf("payload not partial: %v", res["partial"])
+		}
+	}
+}
+
+func TestCLIFloorplanTimeoutPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	// A 24-module instance takes seconds; a 200ms budget must still
+	// produce a summary (possibly partial) and exit zero.
+	start := time.Now()
+	out := runCLI(t, "floorplan", "", "-design", "rand24", "-seed", "7", "-timeout", "200ms")
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("floorplan -timeout took %v", elapsed)
+	}
+	if !strings.Contains(out, "design rand24") || !strings.Contains(out, "chip ") {
+		t.Fatalf("timeout run printed no summary:\n%s", out)
+	}
+}
+
+func TestCLIMipsolveTimeoutReportsIncumbent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	// A correlated knapsack large enough to outlive a 50ms budget.
+	var b strings.Builder
+	b.WriteString("maximize\n")
+	cap := 0
+	for i := 0; i < 40; i++ {
+		w := 10 + (i*37)%90
+		cap += w
+		fmt.Fprintf(&b, "bin x%d %d\n", i, w+10)
+	}
+	fmt.Fprintf(&b, "con cap <= %d", cap/4)
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, " %d x%d", 10+(i*37)%90, i)
+	}
+	b.WriteString("\n")
+	out := runCLI(t, "mipsolve", b.String(), "-timeout", "50ms")
+	if !strings.Contains(out, "status:") {
+		t.Fatalf("mipsolve -timeout printed no status:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -38,6 +39,15 @@ type Config struct {
 // and returns the best floorplan found as a core.Result (ChipWidth is the
 // bounding width of the slicing floorplan).
 func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
+	return FloorplanCtx(context.Background(), d, cfg)
+}
+
+// FloorplanCtx is Floorplan under a context. Cancellation (or a context
+// deadline) stops the cooling schedule within a few moves; the best
+// floorplan found so far is returned together with ctx.Err(), matching
+// core.FloorplanCtx's partial-result convention — annealing always has
+// an incumbent after the initial expression, so the result is usable.
+func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*core.Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,9 +84,17 @@ func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
 		minT = t0 * 1e-4
 	}
 
+	done := ctx.Done()
 	for T := t0; T > minT; T *= cfg.Alpha {
 		accepted := 0
 		for mv := 0; mv < cfg.MovesPerTemp; mv++ {
+			if done != nil && mv&63 == 0 {
+				select {
+				case <-done:
+					return a.decode(best), ctx.Err()
+				default:
+				}
+			}
 			next, ok := a.perturb(cur)
 			if !ok {
 				continue

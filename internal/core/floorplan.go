@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -138,6 +139,18 @@ func autoWidth(d *netlist.Design, cfg *Config) float64 {
 // Floorplan runs the successive-augmentation algorithm of Figure 3 on the
 // design and returns the resulting floorplan.
 func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
+	return FloorplanCtx(context.Background(), d, cfg)
+}
+
+// FloorplanCtx is Floorplan under a context. Cancellation (or a context
+// deadline) stops the augmentation between steps and aborts the running
+// step's branch and bound, which itself returns its best incumbent. On
+// cancellation the partial floorplan built so far — every module placed
+// before the cut, including the interrupted step's incumbent when one
+// was found — is returned TOGETHER with ctx.Err(), so callers can serve
+// partial results against deadlines; callers that need an all-or-nothing
+// answer should discard the result when err != nil.
+func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -186,10 +199,21 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 		}
 	}
 
+	// partial finalizes the result placed so far; it is what cancellation
+	// returns alongside ctx.Err().
 	var envs []geom.Rect // placed envelopes, in placement order
+	partial := func() *Result {
+		res.Height = geom.NewSkyline(envs).MaxHeight()
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
 	pos := 0
 	step := 0
 	for pos < n {
+		if err := ctx.Err(); err != nil {
+			return partial(), err
+		}
 		e := c.GroupSize
 		if step == 0 {
 			e = c.SeedSize
@@ -276,8 +300,11 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 			Covers: len(obstacles), Binaries: len(built.Model.Ints),
 		})
 		stepStart := time.Now()
-		mres := milp.Solve(built.Model, opts)
+		mres := milp.SolveCtx(ctx, built.Model, opts)
 		relaxed := false
+		if mres.X == nil && ctx.Err() != nil {
+			return partial(), ctx.Err()
+		}
 		if mres.X == nil && len(spec.Critical) > 0 {
 			// The timing bounds made this step infeasible (e.g. the partner
 			// module was placed too far away in an earlier step): retry
@@ -290,9 +317,12 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("core: step %d: %w", step, err)
 			}
 			opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
-			mres = milp.Solve(built.Model, opts)
+			mres = milp.SolveCtx(ctx, built.Model, opts)
 		}
 		if mres.X == nil {
+			if err := ctx.Err(); err != nil {
+				return partial(), err
+			}
 			return nil, fmt.Errorf("core: step %d: subproblem %v (status %v)", step, spec, mres.Status)
 		}
 
@@ -313,6 +343,7 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 			Nodes:     mres.Nodes,
 			LPIters:   mres.LPIters,
 			Status:    mres.Status,
+			Gap:       mres.Gap(),
 			Height:    stepHeight,
 			Elapsed:   time.Since(stepStart),
 			Relaxed:   relaxed,
@@ -335,8 +366,13 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 		if iters < 1 {
 			iters = 1
 		}
-		opt, err := AdjustFloorplan(d, res, c, iters)
+		opt, err := AdjustFloorplanCtx(ctx, d, res, c, iters)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The adjustment LP was cut off: the un-adjusted floorplan is
+				// complete and valid, so serve it as the partial result.
+				return res, ctx.Err()
+			}
 			return nil, fmt.Errorf("core: post-optimize: %w", err)
 		}
 		opt.Steps = res.Steps

@@ -36,8 +36,12 @@ type StepTrace struct {
 	Nodes     int   // branch-and-bound nodes
 	LPIters   int   // simplex iterations across all of the step's node solves
 	Status    milp.Status
-	Height    float64 // partial floorplan height after the step
-	Elapsed   time.Duration
+	// Gap is the step subproblem's relative MIP gap (+Inf when the step
+	// stopped without a proven bound); nonzero gaps identify steps whose
+	// node or time budget ran out before optimality.
+	Gap     float64
+	Height  float64 // partial floorplan height after the step
+	Elapsed time.Duration
 	// Relaxed reports that the step's critical-net length constraints were
 	// dropped because they made the subproblem infeasible.
 	Relaxed bool

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -24,6 +25,15 @@ type SweepResult struct {
 // the natural outer loop. Trials run concurrently; the selection is
 // deterministic (ties break toward the smaller factor).
 func FloorplanBestWidth(d *netlist.Design, cfg Config, factors []float64) (*Result, []SweepResult, error) {
+	return FloorplanBestWidthCtx(context.Background(), d, cfg, factors)
+}
+
+// FloorplanBestWidthCtx is FloorplanBestWidth under a context: every
+// width trial shares the context, so one cancellation stops them all.
+// Trials cut off mid-augmentation carry their partial result and
+// ctx.Err(); the best completed trial still wins when one exists,
+// otherwise the context error is surfaced.
+func FloorplanBestWidthCtx(ctx context.Context, d *netlist.Design, cfg Config, factors []float64) (*Result, []SweepResult, error) {
 	if len(factors) == 0 {
 		factors = []float64{0.9, 1.0, 1.1}
 	}
@@ -41,7 +51,7 @@ func FloorplanBestWidth(d *netlist.Design, cfg Config, factors []float64) (*Resu
 			defer wg.Done()
 			c := cfg
 			c.ChipWidth = base * f
-			r, err := Floorplan(d, c)
+			r, err := FloorplanCtx(ctx, d, c)
 			trials[i] = SweepResult{Factor: f, Width: c.ChipWidth, Result: r, Err: err}
 		}(i, f)
 	}

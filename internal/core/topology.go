@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"afp/internal/geom"
@@ -23,7 +24,7 @@ import (
 // Orientations of rigid modules are kept as placed. Flexible modules keep
 // their linearized shape model (cfg.Linearize) and may change width.
 func OptimizeTopology(d *netlist.Design, prev *Result, cfg Config) (*Result, error) {
-	return optimizeTopologyRanges(d, prev, cfg, nil)
+	return optimizeTopologyRanges(context.Background(), d, prev, cfg, nil)
 }
 
 // AdjustFloorplan runs the fixed-topology LP iters times, each round
@@ -34,10 +35,16 @@ func OptimizeTopology(d *netlist.Design, prev *Result, cfg Config) (*Result, err
 // or above the hyperbola, every intermediate floorplan stays overlap-free
 // while the approximation error contracts geometrically.
 func AdjustFloorplan(d *netlist.Design, prev *Result, cfg Config, iters int) (*Result, error) {
+	return AdjustFloorplanCtx(context.Background(), d, prev, cfg, iters)
+}
+
+// AdjustFloorplanCtx is AdjustFloorplan under a context; cancellation
+// aborts the running LP and surfaces as ctx.Err().
+func AdjustFloorplanCtx(ctx context.Context, d *netlist.Design, prev *Result, cfg Config, iters int) (*Result, error) {
 	cur := prev
 	var ranges map[int][2]float64
 	for it := 0; it < iters; it++ {
-		opt, err := optimizeTopologyRanges(d, cur, cfg, ranges)
+		opt, err := optimizeTopologyRanges(ctx, d, cur, cfg, ranges)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +81,7 @@ func AdjustFloorplan(d *netlist.Design, prev *Result, cfg Config, iters int) (*R
 
 // optimizeTopologyRanges is OptimizeTopology with optional per-module
 // width-interval overrides for flexible modules (keyed by design index).
-func optimizeTopologyRanges(d *netlist.Design, prev *Result, cfg Config, widthRanges map[int][2]float64) (*Result, error) {
+func optimizeTopologyRanges(ctx context.Context, d *netlist.Design, prev *Result, cfg Config, widthRanges map[int][2]float64) (*Result, error) {
 	if len(prev.Placements) == 0 {
 		return prev, nil
 	}
@@ -238,7 +245,7 @@ func optimizeTopologyRanges(d *netlist.Design, prev *Result, cfg Config, widthRa
 		}
 	}
 
-	sol, err := p.SolveOpts(lp.Options{MaxIter: 200000, Obs: c.Obs})
+	sol, err := p.SolveCtx(ctx, lp.Options{MaxIter: 200000, Obs: c.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +261,7 @@ func optimizeTopologyRanges(d *netlist.Design, prev *Result, cfg Config, widthRa
 		p.SetObjectiveCoef(t.Var, 0)
 	}
 	p.SetObjectiveCoef(widthV, 1)
-	sol2, err := p.SolveOpts(lp.Options{MaxIter: 200000, Obs: c.Obs})
+	sol2, err := p.SolveCtx(ctx, lp.Options{MaxIter: 200000, Obs: c.Obs})
 	if err != nil {
 		return nil, err
 	}

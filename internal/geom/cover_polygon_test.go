@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomPolygonProfile builds a randomized hole-free covering polygon
+// with a flat bottom — the exact input class of Section 3.1 — as a
+// contiguous row of grounded columns with random widths and heights.
+// The columns double as the N "modules" of Theorems 1 and 2.
+func randomPolygonProfile(rng *rand.Rand, n int) []Rect {
+	cols := make([]Rect, 0, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		w := 1 + float64(rng.Intn(6))
+		h := 1 + float64(rng.Intn(8))
+		cols = append(cols, NewRect(x, 0, w, h))
+		x += w
+	}
+	return cols
+}
+
+// skylinesEqual compares two skylines segment by segment.
+func skylinesEqual(a, b Skyline) bool {
+	if len(a.X) != len(b.X) || len(a.H) != len(b.H) {
+		return false
+	}
+	for i := range a.X {
+		if !almostEq(a.X[i], b.X[i]) {
+			return false
+		}
+	}
+	for i := range a.H {
+		if !almostEq(a.H[i], b.H[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCoverSkylineTheorems is the randomized Theorems 1-2 check on
+// hole-free polygons, driven through CoveringRectanglesOfSkyline (the
+// polygon entry point, as in the Figure 4 reproduction):
+//
+//   - Theorem 1: the polygon of N bottom-up modules has n <= N+1
+//     horizontal edges;
+//   - Theorem 2: the edge-cut partition uses N* <= n-1 rectangles;
+//   - corollary: N* <= N, so replacing modules by covers never grows
+//     the subproblem.
+func TestCoverSkylineTheorems(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(14)
+		cols := randomPolygonProfile(rng, n)
+		sl := NewSkyline(cols)
+		covers := CoveringRectanglesOfSkyline(sl)
+
+		edges := sl.HorizontalEdges()
+		if edges > n+1 {
+			t.Fatalf("trial %d: Theorem 1 violated: n = %d > N+1 = %d\ncols: %v",
+				trial, edges, n+1, cols)
+		}
+		if len(covers) > edges-1 {
+			t.Fatalf("trial %d: Theorem 2 violated: N* = %d > n-1 = %d\ncols: %v\ncovers: %v",
+				trial, len(covers), edges-1, cols, covers)
+		}
+		if len(covers) > n {
+			t.Fatalf("trial %d: corollary violated: N* = %d > N = %d", trial, len(covers), n)
+		}
+		if err := CoverInvariants(cols, covers); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Region equality: the covers must rebuild the exact same profile,
+		// not merely match in area.
+		if !skylinesEqual(sl, NewSkyline(covers)) {
+			t.Fatalf("trial %d: covers change the polygon:\nwant %v\ngot  %v",
+				trial, sl, NewSkyline(covers))
+		}
+	}
+}
+
+// TestCoverSkylineMatchesRectEntryPoint pins the polygon entry point to
+// the rectangle entry point: both must produce identical partitions for
+// the same region.
+func TestCoverSkylineMatchesRectEntryPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		mods := randomStaircase(rng, 1+rng.Intn(10))
+		fromRects := CoveringRectangles(mods)
+		fromSkyline := CoveringRectanglesOfSkyline(NewSkyline(mods))
+		if len(fromRects) != len(fromSkyline) {
+			t.Fatalf("trial %d: %d covers from rects, %d from skyline",
+				trial, len(fromRects), len(fromSkyline))
+		}
+		for i := range fromRects {
+			if fromRects[i] != fromSkyline[i] {
+				t.Fatalf("trial %d: cover %d differs: %v vs %v",
+					trial, i, fromRects[i], fromSkyline[i])
+			}
+		}
+	}
+}
+
+// TestCoverSkylinePlateau checks that equal-height neighbors merge into
+// one cover: a plateau has 2 horizontal edges regardless of how many
+// columns form it, and the partition must hit the n-1 bound exactly.
+func TestCoverSkylinePlateau(t *testing.T) {
+	cols := []Rect{
+		NewRect(0, 0, 2, 4), NewRect(2, 0, 3, 4), NewRect(5, 0, 1, 4),
+	}
+	sl := NewSkyline(cols)
+	if got := sl.HorizontalEdges(); got != 2 {
+		t.Fatalf("plateau edges = %d, want 2", got)
+	}
+	covers := CoveringRectanglesOfSkyline(sl)
+	if len(covers) != 1 || covers[0] != NewRect(0, 0, 6, 4) {
+		t.Fatalf("plateau covers = %v, want one 6x4 rect", covers)
+	}
+}
+
+// TestCoverSkylineStrictStaircase pins the worst case of Theorem 2: a
+// strictly monotone staircase of N distinct levels has n = N+1 edges
+// and needs exactly N covers after stack-merging.
+func TestCoverSkylineStrictStaircase(t *testing.T) {
+	const n = 6
+	var cols []Rect
+	for i := 0; i < n; i++ {
+		cols = append(cols, NewRect(float64(i), 0, 1, float64(i+1)))
+	}
+	sl := NewSkyline(cols)
+	if got := sl.HorizontalEdges(); got != n+1 {
+		t.Fatalf("staircase edges = %d, want %d", got, n+1)
+	}
+	covers := CoveringRectanglesOfSkyline(sl)
+	if len(covers) != n {
+		t.Fatalf("staircase covers = %d, want %d: %v", len(covers), n, covers)
+	}
+	if err := CoverInvariants(cols, covers); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoverSkylineZeroHeightSegments feeds a skyline that contains
+// explicit zero-height gaps (a disconnected profile). The partition must
+// still be valid per component; the Theorem 2 bound holds with one extra
+// rectangle allowed per gap, as noted in the CoveringRectangles doc.
+func TestCoverSkylineZeroHeightSegments(t *testing.T) {
+	sl := Skyline{
+		X: []float64{0, 2, 4, 6},
+		H: []float64{3, 0, 5},
+	}
+	covers := CoveringRectanglesOfSkyline(sl)
+	if len(covers) != 2 {
+		t.Fatalf("two-component profile covers = %v, want 2 rects", covers)
+	}
+	if _, _, bad := AnyOverlap(covers); bad {
+		t.Fatalf("covers overlap: %v", covers)
+	}
+	if !almostEqTol(TotalArea(covers), sl.Area(), 1e-9) {
+		t.Fatalf("area %v != %v", TotalArea(covers), sl.Area())
+	}
+}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -46,6 +47,11 @@ type Incremental struct {
 	degenCount int
 	solveDegen int // degenerate pivots within the current Solve
 	o          *obs.Observer
+
+	// done and cancelled mirror the cold solver's context handling: the
+	// channel of the Solve call's context, polled every few pivots.
+	done      <-chan struct{}
+	cancelled bool
 }
 
 // ErrUnboundedColumn reports that no dual-feasible starting point exists
@@ -210,9 +216,19 @@ func (inc *Incremental) SetBounds(v VarID, lo, hi float64) {
 // Solve restores primal feasibility by dual simplex pivots and returns
 // the optimum. The returned solution shares no state with the solver.
 func (inc *Incremental) Solve() (*Solution, error) {
+	return inc.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve under a context: the dual simplex loop polls
+// ctx.Done() every few pivots and aborts with ctx.Err(). The tableau is
+// left in a consistent (dual feasible) state, so a later SolveCtx with a
+// live context resumes the repair.
+func (inc *Incremental) SolveCtx(ctx context.Context) (*Solution, error) {
 	start := time.Now()
 	inc.solves++
 	inc.solveDegen = 0
+	inc.done = ctx.Done()
+	inc.cancelled = false
 	// Periodic full rebuild bounds numerical drift from long pivot chains.
 	if inc.solves%256 == 0 {
 		if err := inc.rebuild(); err != nil {
@@ -221,6 +237,9 @@ func (inc *Incremental) Solve() (*Solution, error) {
 	}
 	iterStart := inc.iter
 	st := inc.dualSimplex()
+	if inc.cancelled {
+		return nil, ctx.Err()
+	}
 	sol := &Solution{Status: st, Iterations: inc.iter - iterStart, DegeneratePivots: inc.solveDegen}
 	if st == StatusOptimal || st == StatusIterLimit {
 		x := make([]float64, inc.n)
@@ -258,6 +277,14 @@ func (inc *Incremental) dualSimplex() Status {
 	for {
 		if inc.iter-iterStart >= inc.maxIter {
 			return StatusIterLimit
+		}
+		if inc.done != nil && inc.iter&cancelPollMask == 0 {
+			select {
+			case <-inc.done:
+				inc.cancelled = true
+				return StatusIterLimit
+			default:
+			}
 		}
 		// Leaving choice: most violated basic.
 		leave := -1

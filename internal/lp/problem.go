@@ -19,6 +19,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -243,8 +244,16 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveOpts(Options{}) }
 // SolveOpts solves the problem with the given options. The Problem itself
 // is not modified.
 func (p *Problem) SolveOpts(opt Options) (*Solution, error) {
+	return p.SolveCtx(context.Background(), opt)
+}
+
+// SolveCtx is SolveOpts under a context: the simplex loop polls
+// ctx.Done() every few pivots and aborts with ctx.Err() when the context
+// is cancelled or its deadline passes. A context without a Done channel
+// (context.Background()) costs nothing on the pivot path.
+func (p *Problem) SolveCtx(ctx context.Context, opt Options) (*Solution, error) {
 	if len(p.names) == 0 {
 		return nil, ErrBadModel
 	}
-	return solveSimplex(p, opt)
+	return solveSimplex(ctx, p, opt)
 }

@@ -8,6 +8,7 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -136,18 +137,32 @@ type Result struct {
 
 // Gap returns the relative MIP gap |Objective - BestBound| /
 // max(1e-10, |Objective|). Without an incumbent, or without a finite
-// proven bound, the gap is +Inf.
+// proven bound, the gap is +Inf: the division is never evaluated when no
+// feasible solution was found, so a zero Objective placeholder cannot
+// manufacture a huge but meaningless percentage. An incumbent whose
+// objective matches its bound within 1e-12 reports exactly zero, which
+// keeps proven-optimal solves with a zero objective out of the same trap.
 func (r *Result) Gap() float64 {
-	if r.X == nil || math.IsInf(r.BestBound, 0) {
+	if r.X == nil || math.IsInf(r.BestBound, 0) || math.IsNaN(r.BestBound) {
 		return math.Inf(1)
 	}
-	return math.Abs(r.Objective-r.BestBound) / math.Max(1e-10, math.Abs(r.Objective))
+	diff := math.Abs(r.Objective - r.BestBound)
+	if diff <= 1e-12 {
+		return 0
+	}
+	return diff / math.Max(1e-10, math.Abs(r.Objective))
 }
 
 // String is a one-line solve summary: status, incumbent objective,
-// proven bound, relative gap and search effort.
+// proven bound, relative gap and search effort. Without an incumbent the
+// objective and gap are omitted (only the proven bound is shown, when
+// one exists).
 func (r *Result) String() string {
 	if r.X == nil {
+		if !math.IsInf(r.BestBound, 0) && !math.IsNaN(r.BestBound) {
+			return fmt.Sprintf("status: %s bound: %g nodes: %d lp-iters: %d",
+				r.Status, r.BestBound, r.Nodes, r.LPIters)
+		}
 		return fmt.Sprintf("status: %s nodes: %d lp-iters: %d", r.Status, r.Nodes, r.LPIters)
 	}
 	gap := "inf"
@@ -171,6 +186,7 @@ type node struct {
 type solver struct {
 	m        *Model
 	opt      Options
+	ctx      context.Context
 	work     *lp.Problem
 	inc      *lp.Incremental // warm-started relaxation solver; nil = cold path
 	sign     float64         // +1 minimize, -1 maximize: node objectives are sign*obj
@@ -248,6 +264,16 @@ func relGap(inc, bound float64) float64 {
 // Solve runs branch and bound and returns the result. The model's Problem
 // is not modified.
 func Solve(m *Model, opt Options) *Result {
+	return SolveCtx(context.Background(), m, opt)
+}
+
+// SolveCtx is Solve under a context. Cancellation (or a context
+// deadline) stops the search at the next node boundary — and, inside a
+// node, aborts the running LP solve within a few pivots — returning the
+// best incumbent found so far with StatusFeasible, or StatusLimit when
+// none exists. The proven bound and Gap remain meaningful on such
+// partial results, which is what deadline-bounded service solves report.
+func SolveCtx(ctx context.Context, m *Model, opt Options) *Result {
 	if opt.MaxNodes <= 0 {
 		opt.MaxNodes = 200000
 	}
@@ -260,6 +286,7 @@ func Solve(m *Model, opt Options) *Result {
 	s := &solver{
 		m:            m,
 		opt:          opt,
+		ctx:          ctx,
 		work:         m.P.Clone(),
 		sign:         1,
 		incumbentObj: math.Inf(1),
@@ -286,6 +313,9 @@ func Solve(m *Model, opt Options) *Result {
 }
 
 func (s *solver) timeUp() bool {
+	if s.ctx.Err() != nil {
+		return true
+	}
 	return !s.deadline.IsZero() && time.Now().After(s.deadline)
 }
 
@@ -308,9 +338,9 @@ func (s *solver) solveLP() (*lp.Solution, float64) {
 	var sol *lp.Solution
 	var err error
 	if s.inc != nil {
-		sol, err = s.inc.Solve()
+		sol, err = s.inc.SolveCtx(s.ctx)
 	} else {
-		sol, err = s.work.SolveOpts(s.opt.LP)
+		sol, err = s.work.SolveCtx(s.ctx, s.opt.LP)
 	}
 	if err != nil {
 		return nil, math.Inf(1)
@@ -397,6 +427,15 @@ func (s *solver) run() *Result {
 		s.setIntBounds(n)
 		sol, obj := s.solveLP()
 		if sol == nil {
+			if s.timeUp() {
+				// Cancellation aborted this node's LP mid-solve. Its parent
+				// bound is still unexplored mass, so fold it into the proven
+				// bound before stopping.
+				s.emitClose(n, "cancelled", n.bound)
+				hitLimit = true
+				bestOpenBound = math.Min(minOpenBound(stack), n.bound)
+				break
+			}
 			s.emitClose(n, "lperror", n.bound)
 			continue
 		}

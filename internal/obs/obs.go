@@ -40,7 +40,7 @@ const (
 	KindNodeOpen Kind = "node.open"
 	// KindNodeClose marks a node fully processed after its LP solve;
 	// Detail records the resolution (integer, infeasible, bound, branched,
-	// unbounded, iterlimit, lperror).
+	// unbounded, iterlimit, lperror, cancelled).
 	KindNodeClose Kind = "node.close"
 	// KindNodePrune marks a node discarded by its parent bound before
 	// paying for an LP solve.

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a concurrency-safe LRU over canonical instance keys.
+// Only complete (non-partial) results are stored, so a hit is valid for
+// any requested deadline. Values are *ResultPayload treated as immutable
+// after insertion: hits hand out the shared pointer.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val *ResultPayload
+}
+
+// newResultCache returns a cache holding up to capacity results;
+// capacity <= 0 disables caching (every lookup misses, puts are
+// dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key and refreshes its recency.
+func (c *resultCache) get(key string) (*ResultPayload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores a result, evicting the least recently used entry when the
+// cache is full.
+func (c *resultCache) put(key string, val *ResultPayload) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is the lifecycle phase of a job. Transitions are
+// queued -> running -> {done, failed}, with cancelled reachable from
+// queued and running. Terminal states never change.
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one asynchronous solve. All mutable fields are guarded by mu;
+// the immutable identity fields (ID, Key, Instance, trace) are set
+// before the job is published.
+type Job struct {
+	ID       string
+	Key      string
+	Instance *Instance
+	trace    *traceBuffer
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	partial  bool
+	cached   bool
+	result   *ResultPayload
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// JobView is the externally visible snapshot of a job, the body of
+// GET /v1/jobs/{id}.
+type JobView struct {
+	ID      string `json:"id"`
+	State   State  `json:"state"`
+	Design  string `json:"design"`
+	Key     string `json:"key"`
+	Error   string `json:"error,omitempty"`
+	Partial bool   `json:"partial,omitempty"`
+	Cached  bool   `json:"cached,omitempty"`
+	// TraceEvents is the number of telemetry events retained for the job.
+	TraceEvents int    `json:"traceEvents"`
+	CreatedAt   string `json:"createdAt"`
+	StartedAt   string `json:"startedAt,omitempty"`
+	FinishedAt  string `json:"finishedAt,omitempty"`
+	// ElapsedMS is wall time from start to finish (or to now while
+	// running).
+	ElapsedMS int64 `json:"elapsedMs,omitempty"`
+}
+
+func newJob(id string, in *Instance, key string, traceCap int) *Job {
+	return &Job{
+		ID:       id,
+		Key:      key,
+		Instance: in,
+		trace:    newTraceBuffer(traceCap),
+		state:    StateQueued,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+	}
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		State:       j.state,
+		Design:      j.Instance.Design.Name,
+		Key:         j.Key,
+		Error:       j.err,
+		Partial:     j.partial,
+		Cached:      j.cached,
+		TraceEvents: j.trace.Len(),
+		CreatedAt:   j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.ElapsedMS = end.Sub(j.started).Milliseconds()
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the result payload, whether the job is terminal, and
+// the recorded error string.
+func (j *Job) Result() (*ResultPayload, bool, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state.Terminal(), j.err
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// tryStart moves queued -> running and installs the cancel func; it
+// fails when the job was cancelled while waiting in the queue.
+func (j *Job) tryStart(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records a terminal state. It is a no-op when the job is
+// already terminal (a cancel that raced the solve's own completion).
+func (j *Job) finish(state State, res *ResultPayload, partial bool, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.partial = partial
+	j.err = errMsg
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+// completeCached marks a cache-served job done without it ever entering
+// the queue.
+func (j *Job) completeCached(res *ResultPayload) {
+	j.mu.Lock()
+	j.cached = true
+	j.started = j.created
+	j.mu.Unlock()
+	j.finish(StateDone, res, false, "")
+}
+
+// requestCancel asks the job to stop. A queued job is cancelled
+// immediately (the pool will skip it); a running job gets its context
+// cancelled and transitions when the solver unwinds. Returns false for
+// jobs already terminal.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		return true
+	case j.state == StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// store holds jobs by ID, evicting the oldest terminal jobs beyond a
+// retention cap so a long-lived server does not accumulate history
+// forever.
+type store struct {
+	mu     sync.Mutex
+	max    int
+	jobs   map[string]*Job
+	order  []string // insertion order, for eviction
+	serial uint64
+}
+
+func newStore(maxJobs int) *store {
+	if maxJobs <= 0 {
+		maxJobs = 1024
+	}
+	return &store{max: maxJobs, jobs: make(map[string]*Job)}
+}
+
+// newID returns a job id: a monotonic serial plus random suffix, so ids
+// are unguessable-ish yet sort by submission order.
+func (s *store) newID() string {
+	var buf [4]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand only fails on a broken platform; serial alone is
+		// still unique.
+		copy(buf[:], []byte{0xde, 0xad, 0xbe, 0xef})
+	}
+	s.mu.Lock()
+	s.serial++
+	n := s.serial
+	s.mu.Unlock()
+	return fmt.Sprintf("j%06d-%s", n, hex.EncodeToString(buf[:]))
+}
+
+// add publishes a job, evicting old terminal jobs when over cap.
+func (s *store) add(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	if len(s.jobs) <= s.max {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		old := s.jobs[id]
+		if old != nil && len(s.jobs) > s.max && old.State().Terminal() && id != j.ID {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// get looks a job up by id.
+func (s *store) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// active returns all non-terminal jobs.
+func (s *store) active() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil && !j.State().Terminal() {
+			out = append(out, j)
+		}
+	}
+	return out
+}

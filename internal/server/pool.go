@@ -1,0 +1,63 @@
+package server
+
+import "sync"
+
+// pool is a bounded worker pool: a fixed number of workers draining a
+// fixed-depth queue. Submission never blocks — a full queue is reported
+// to the caller (the HTTP layer turns it into 429) instead of stalling
+// the accept loop.
+type pool struct {
+	mu     sync.Mutex
+	closed bool
+	queue  chan *Job
+	wg     sync.WaitGroup
+}
+
+// newPool starts `workers` goroutines running run on each dequeued job.
+func newPool(workers, depth int, run func(*Job)) *pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	p := &pool{queue: make(chan *Job, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.queue {
+				run(j)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job; false means the queue is full or the pool is
+// shut down.
+func (p *pool) submit(j *Job) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops intake and waits for the workers to drain the queue and
+// finish their current jobs.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"afp/internal/obs"
+)
+
+// traceBuffer is an obs.Sink retaining a bounded prefix of a job's
+// telemetry in memory so it can be served back as JSONL. Once the cap is
+// reached further events are counted but dropped — a runaway solve must
+// not grow server memory without bound — and the truncation is made
+// visible by a final synthetic "trace.truncated" line on output.
+type traceBuffer struct {
+	mu      sync.Mutex
+	max     int
+	events  []obs.Event
+	dropped int64
+}
+
+// kindTruncated marks the synthetic closing event of a truncated trace;
+// its Nodes field carries the dropped-event count.
+const kindTruncated obs.Kind = "trace.truncated"
+
+func newTraceBuffer(max int) *traceBuffer {
+	if max <= 0 {
+		max = 10000
+	}
+	return &traceBuffer{max: max}
+}
+
+// Emit implements obs.Sink.
+func (b *traceBuffer) Emit(e obs.Event) {
+	b.mu.Lock()
+	if len(b.events) < b.max {
+		b.events = append(b.events, e)
+	} else {
+		b.dropped++
+	}
+	b.mu.Unlock()
+}
+
+// WriteJSONL writes the retained events as one JSON object per line,
+// matching the obs.JSONLWriter format byte for byte (including its
+// non-finite-float handling), so traces fetched over the API and traces
+// written by the CLI -trace flag are interchangeable.
+func (b *traceBuffer) WriteJSONL(w io.Writer) error {
+	b.mu.Lock()
+	events := b.events
+	dropped := b.dropped
+	b.mu.Unlock()
+
+	jw := obs.NewJSONLWriter(w)
+	for _, e := range events {
+		jw.Emit(e)
+	}
+	if dropped > 0 {
+		jw.Emit(obs.Event{Kind: kindTruncated, Nodes: int(dropped)})
+	}
+	return jw.Err()
+}
+
+// Len reports the number of retained events (for tests and /v1/jobs).
+func (b *traceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// lines decodes the buffered trace back into generic JSON objects; test
+// helper for validating the JSONL framing.
+func (b *traceBuffer) lines() ([]map[string]any, error) {
+	var sb jsonlCollector
+	if err := b.WriteJSONL(&sb); err != nil {
+		return nil, err
+	}
+	return sb.objs, sb.err
+}
+
+// jsonlCollector incrementally decodes written JSONL, line by line.
+type jsonlCollector struct {
+	buf  []byte
+	objs []map[string]any
+	err  error
+}
+
+func (c *jsonlCollector) Write(p []byte) (int, error) {
+	c.buf = append(c.buf, p...)
+	for {
+		i := -1
+		for j, ch := range c.buf {
+			if ch == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return len(p), nil
+		}
+		line := c.buf[:i]
+		c.buf = c.buf[i+1:]
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil && c.err == nil {
+			c.err = err
+		} else {
+			c.objs = append(c.objs, obj)
+		}
+	}
+}
