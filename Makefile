@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci vet race bench serve e2e clean
+.PHONY: all build test ci vet race bench benchall serve e2e clean
 
 all: build
 
@@ -32,7 +32,17 @@ serve:
 e2e:
 	$(GO) test -run 'CLI|E2E' -v .
 
+# bench runs the Table 1/Table 3 quick benches (including the serial vs
+# Workers=4 pairs) and persists a machine-readable BENCH_<utc-date>.json
+# snapshot (ns/op, util%, LP iters, speedups) via cmd/benchjson.
 bench:
+	$(GO) test -bench='Table1|Table3' -benchtime=1x -run=^$$ . > bench.out
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_$$(date -u +%Y-%m-%d).json < bench.out
+	@rm -f bench.out
+
+# benchall runs every benchmark once without persisting a snapshot.
+benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:

@@ -27,13 +27,25 @@ func quickMILP() milp.Options {
 // --- Table 1: execution time vs problem size -----------------------------
 
 func benchFloorplanSize(b *testing.B, d *netlist.Design) {
+	benchFloorplanWorkers(b, d, 0)
+}
+
+// benchFloorplanWorkers runs a Table 1 row at a fixed branch-and-bound
+// worker count (0 = library default). The util% and lpiters metrics land
+// in the BENCH_*.json snapshots next to ns/op (see cmd/benchjson).
+func benchFloorplanWorkers(b *testing.B, d *netlist.Design, workers int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r, err := core.Floorplan(d, core.Config{GroupSize: 3, MILP: quickMILP()})
+		r, err := core.Floorplan(d, core.Config{GroupSize: 3, MILP: quickMILP(), Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
+		iters := 0
+		for _, s := range r.Steps {
+			iters += s.LPIters
+		}
 		b.ReportMetric(100*r.Utilization(), "util%")
+		b.ReportMetric(float64(iters), "lpiters")
 	}
 }
 
@@ -41,6 +53,22 @@ func BenchmarkTable1Size15(b *testing.B) { benchFloorplanSize(b, netlist.Random(
 func BenchmarkTable1Size20(b *testing.B) { benchFloorplanSize(b, netlist.Random(20, 2001)) }
 func BenchmarkTable1Size25(b *testing.B) { benchFloorplanSize(b, netlist.Random(25, 2501)) }
 func BenchmarkTable1AMI33(b *testing.B)  { benchFloorplanSize(b, netlist.AMI33()) }
+
+// Serial vs parallel tree search on Table 1 rows. cmd/benchjson pairs a
+// WorkersN bench with its Workers1 sibling and reports the speedup; on a
+// single-core host the two collapse to similar times.
+func BenchmarkTable1Size15Workers1(b *testing.B) {
+	benchFloorplanWorkers(b, netlist.Random(15, 1501), 1)
+}
+func BenchmarkTable1Size15Workers4(b *testing.B) {
+	benchFloorplanWorkers(b, netlist.Random(15, 1501), 4)
+}
+func BenchmarkTable1Size25Workers1(b *testing.B) {
+	benchFloorplanWorkers(b, netlist.Random(25, 2501), 1)
+}
+func BenchmarkTable1Size25Workers4(b *testing.B) {
+	benchFloorplanWorkers(b, netlist.Random(25, 2501), 4)
+}
 
 // --- Table 2: objective x ordering on ami33 ------------------------------
 

@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// machine-readable JSON snapshot, so the repository can commit dated
+// BENCH_<utc-date>.json files and track the performance trajectory. Every
+// reported metric survives — ns/op, B/op, allocs/op and custom
+// b.ReportMetric units like util% and lpiters — and benchmarks named
+// `<base>Workers<N>` are paired with their `<base>Workers1` sibling to
+// derive wall-clock speedups. `make bench` wires it up.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the benchmark name (the "-8" of
+	// "BenchmarkFoo-8"); 0 when absent.
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the whole file.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Speedups maps a WorkersN benchmark to its ns/op ratio versus the
+	// matching Workers1 run: >1 means the parallel search is faster.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(-(\d+))?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("out", "", "output file (empty = stdout)")
+	date := flag.String("date", "", "snapshot date (default: today, UTC)")
+	flag.Parse()
+
+	snap, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	snap.Date = *date
+	if snap.Date == "" {
+		snap.Date = time.Now().UTC().Format("2006-01-02")
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	}
+}
+
+// parse consumes `go test -bench` output and keeps every metric of every
+// Benchmark line. Non-benchmark lines (PASS, ok, goos headers) are
+// skipped, so piping the whole test output through is fine.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %v", sc.Text(), err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		if m[3] != "" {
+			b.Procs, _ = strconv.Atoi(m[3])
+		}
+		fields := strings.Fields(m[5])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("line %q: odd metric fields", sc.Text())
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: metric %q: %v", sc.Text(), fields[i+1], err)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	snap.Speedups = speedups(snap.Benchmarks)
+	return snap, nil
+}
+
+var workersName = regexp.MustCompile(`^(.*)Workers(\d+)$`)
+
+// speedups pairs every <base>WorkersN benchmark (N > 1) with its
+// <base>Workers1 sibling by ns/op.
+func speedups(bs []Benchmark) map[string]float64 {
+	nsop := make(map[string]float64, len(bs))
+	for _, b := range bs {
+		nsop[b.Name] = b.Metrics["ns/op"]
+	}
+	out := map[string]float64{}
+	for _, b := range bs {
+		m := workersName.FindStringSubmatch(b.Name)
+		if m == nil || m[2] == "1" {
+			continue
+		}
+		serial, ok := nsop[m[1]+"Workers1"]
+		par := b.Metrics["ns/op"]
+		if !ok || serial <= 0 || par <= 0 {
+			continue
+		}
+		out[b.Name] = serial / par
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: afp
+BenchmarkTable1Size15-8              	       2	 500000000 ns/op	      1024 B/op	      10 allocs/op	        85.00 util%	     12000 lpiters
+BenchmarkTable1Size15Workers1-8      	       2	 600000000 ns/op	        84.00 util%	     11000 lpiters
+BenchmarkTable1Size15Workers4-8      	       2	 300000000 ns/op	        84.50 util%	     13000 lpiters
+BenchmarkTable3BareShortest          	       1	  90000000 ns/op	    123456 finalArea	      789 wirelen
+PASS
+ok  	afp	12.3s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "Table1Size15" || b.Procs != 8 || b.Iterations != 2 {
+		t.Fatalf("first bench = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 5e8, "B/op": 1024, "allocs/op": 10, "util%": 85, "lpiters": 12000,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %q = %v, want %v", unit, got, want)
+		}
+	}
+	// No -procs suffix is accepted.
+	if b3 := snap.Benchmarks[3]; b3.Name != "Table3BareShortest" || b3.Procs != 0 {
+		t.Fatalf("bench without procs suffix = %+v", b3)
+	}
+	// Workers4 vs Workers1 speedup: 600ms / 300ms = 2x.
+	got, ok := snap.Speedups["Table1Size15Workers4"]
+	if !ok || math.Abs(got-2) > 1e-9 {
+		t.Fatalf("speedup = %v (present %v), want 2", got, ok)
+	}
+	if _, ok := snap.Speedups["Table1Size15"]; ok {
+		t.Error("non-workers bench acquired a speedup entry")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok afp 1s\n")); err == nil {
+		t.Fatal("expected error on input without benchmarks")
+	}
+}

@@ -50,6 +50,7 @@ func run() error {
 	var (
 		input     = flag.String("input", "", "model file; empty reads stdin")
 		maxNodes  = flag.Int("nodes", 200000, "branch-and-bound node limit")
+		workers   = flag.Int("workers", 0, "branch-and-bound workers (0 = one per CPU, 1 = serial)")
 		timeout   = flag.Duration("timeout", time.Minute, "solve time limit")
 		traceOut  = flag.String("trace", "", "write a JSONL event trace (lp.solve, node.*) to this file")
 		verbose   = flag.Bool("verbose", false, "log branch-and-bound progress to stderr")
@@ -113,7 +114,7 @@ func run() error {
 		defer cancel()
 	}
 
-	opts := milp.Options{MaxNodes: *maxNodes, Obs: observer}
+	opts := milp.Options{MaxNodes: *maxNodes, Workers: *workers, Obs: observer}
 	opts.LP.Obs = observer
 	res := milp.SolveCtx(ctx, m, opts)
 	if err := ctx.Err(); err != nil {

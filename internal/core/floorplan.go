@@ -45,6 +45,17 @@ type Config struct {
 	// MILP tunes the per-step branch-and-bound solver. Zero values select
 	// defaults (30000 nodes, 20s per step).
 	MILP milp.Options
+	// Workers sets the branch-and-bound worker count of every MILP
+	// subproblem (see milp.Options.Workers): 0 leaves the milp default
+	// (one worker per CPU), 1 forces the exact serial search, and values
+	// above 1 parallelize each step's tree search. A non-zero
+	// MILP.Workers takes precedence.
+	Workers int
+	// SweepWorkers bounds how many width trials FloorplanBestWidth runs
+	// concurrently. 0 (the default) runs every factor at once; note each
+	// trial multiplies by the per-solve Workers, so bounded sweeps keep
+	// sweep×search from oversubscribing the host.
+	SweepWorkers int
 	// PostOptimize runs the Section 2.5 fixed-topology LP after the last
 	// augmentation step ("adjust floorplan" of Figure 3).
 	PostOptimize bool
@@ -97,6 +108,9 @@ func (c *Config) withDefaults(d *netlist.Design) Config {
 	}
 	if cfg.MILP.TimeLimit <= 0 {
 		cfg.MILP.TimeLimit = 20 * time.Second
+	}
+	if cfg.MILP.Workers == 0 {
+		cfg.MILP.Workers = cfg.Workers
 	}
 	if cfg.ChipWidth <= 0 {
 		cfg.ChipWidth = autoWidth(d, &cfg)

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"afp/internal/netlist"
+)
+
+func TestFloorplanParallelWorkers(t *testing.T) {
+	// A parallel tree search inside each augmentation step must still
+	// deliver a complete, valid floorplan. Placements may differ from the
+	// serial run (ties among optimal placements break nondeterministically
+	// at Workers > 1), so validity — not equality — is the contract.
+	d := netlist.Random(9, 14)
+	serial, err := Floorplan(d, Config{GroupSize: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Floorplan(d, Config{GroupSize: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, d, par)
+	if len(par.Placements) != len(serial.Placements) {
+		t.Fatalf("parallel run placed %d modules, serial %d", len(par.Placements), len(serial.Placements))
+	}
+	if len(par.Steps) != len(serial.Steps) {
+		t.Fatalf("parallel run took %d steps, serial %d", len(par.Steps), len(serial.Steps))
+	}
+}
+
+func TestFloorplanBestWidthSweepWorkers(t *testing.T) {
+	// Bounding sweep concurrency must not change any trial's outcome:
+	// with the serial search pinned, a SweepWorkers=1 sweep reproduces the
+	// unbounded sweep trial for trial.
+	d := netlist.Random(6, 12)
+	factors := []float64{0.9, 1.0, 1.1}
+	bAll, trialsAll, err := FloorplanBestWidth(d, Config{GroupSize: 3, Workers: 1}, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bOne, trialsOne, err := FloorplanBestWidth(d, Config{GroupSize: 3, Workers: 1, SweepWorkers: 1}, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bAll.ChipArea() != bOne.ChipArea() || bAll.ChipWidth != bOne.ChipWidth {
+		t.Fatalf("bounded sweep winner differs: area %v/%v width %v/%v",
+			bAll.ChipArea(), bOne.ChipArea(), bAll.ChipWidth, bOne.ChipWidth)
+	}
+	for i := range trialsAll {
+		ra, ro := trialsAll[i].Result, trialsOne[i].Result
+		if (ra == nil) != (ro == nil) {
+			t.Fatalf("trial %d presence differs", i)
+		}
+		if ra != nil && ra.ChipArea() != ro.ChipArea() {
+			t.Fatalf("trial %d area differs: %v vs %v", i, ra.ChipArea(), ro.ChipArea())
+		}
+	}
+}

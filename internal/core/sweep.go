@@ -45,10 +45,21 @@ func FloorplanBestWidthCtx(ctx context.Context, d *netlist.Design, cfg Config, f
 
 	trials := make([]SweepResult, len(factors))
 	var wg sync.WaitGroup
+	// cfg.SweepWorkers > 0 bounds trial concurrency with a semaphore so
+	// sweep-level and search-level parallelism compose without
+	// oversubscribing the host.
+	var sem chan struct{}
+	if cfg.SweepWorkers > 0 && cfg.SweepWorkers < len(factors) {
+		sem = make(chan struct{}, cfg.SweepWorkers)
+	}
 	for i, f := range factors {
 		wg.Add(1)
 		go func(i int, f float64) {
 			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
 			c := cfg
 			c.ChipWidth = base * f
 			r, err := FloorplanCtx(ctx, d, c)

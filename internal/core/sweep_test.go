@@ -43,11 +43,12 @@ func TestFloorplanBestWidthDefaults(t *testing.T) {
 
 func TestFloorplanBestWidthDeterministic(t *testing.T) {
 	d := netlist.Random(6, 12)
-	b1, _, err := FloorplanBestWidth(d, Config{GroupSize: 3}, []float64{0.9, 1.1})
+	// Workers: 1 pins the serial search; see TestFloorplanDeterministic.
+	b1, _, err := FloorplanBestWidth(d, Config{GroupSize: 3, Workers: 1}, []float64{0.9, 1.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, _, err := FloorplanBestWidth(d, Config{GroupSize: 3}, []float64{0.9, 1.1})
+	b2, _, err := FloorplanBestWidth(d, Config{GroupSize: 3, Workers: 1}, []float64{0.9, 1.1})
 	if err != nil {
 		t.Fatal(err)
 	}

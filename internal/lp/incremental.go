@@ -213,6 +213,39 @@ func (inc *Incremental) SetBounds(v VarID, lo, hi float64) {
 	}
 }
 
+// Clone returns an independent copy of the solver sharing only the
+// immutable problem snapshot (constraint rows, right-hand sides,
+// objective). The clone starts from the same tableau and bounds, and
+// subsequent SetBounds/Solve calls on either side never affect the
+// other, so each branch-and-bound worker can carry its own warm basis
+// cloned from one root solver. Clone is not safe to call concurrently
+// with Solve or SetBounds on the receiver.
+func (inc *Incremental) Clone() *Incremental {
+	c := &Incremental{
+		// Shared immutable snapshot: p (objective read-only), cost, rowRHS
+		// and origRow are never written after NewIncremental.
+		p: inc.p, m: inc.m, n: inc.n, ncols: inc.ncols, sign: inc.sign,
+		cost: inc.cost, rowRHS: inc.rowRHS, origRow: inc.origRow,
+
+		lb:    append([]float64(nil), inc.lb...),
+		ub:    append([]float64(nil), inc.ub...),
+		beta:  append([]float64(nil), inc.beta...),
+		basis: append([]int(nil), inc.basis...),
+		state: append([]varState(nil), inc.state...),
+		val:   append([]float64(nil), inc.val...),
+		zrow:  append([]float64(nil), inc.zrow...),
+
+		iter: inc.iter, solves: inc.solves, maxIter: inc.maxIter,
+		blandLeft: inc.blandLeft, degenCount: inc.degenCount,
+		o: inc.o,
+	}
+	c.T = make([][]float64, inc.m)
+	for i := range inc.T {
+		c.T[i] = append([]float64(nil), inc.T[i]...)
+	}
+	return c
+}
+
 // Solve restores primal feasibility by dual simplex pivots and returns
 // the optimum. The returned solution shares no state with the solver.
 func (inc *Incremental) Solve() (*Solution, error) {

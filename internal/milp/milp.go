@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"afp/internal/lp"
@@ -63,6 +64,14 @@ type Options struct {
 	TimeLimit time.Duration
 	// AbsGap terminates when bestBound >= incumbent - AbsGap. Defaults to 1e-6.
 	AbsGap float64
+	// Workers sets the number of branch-and-bound worker goroutines.
+	// 0 (the default) means runtime.GOMAXPROCS(0); 1 runs the exact
+	// serial search of earlier versions, bit for bit. At Workers > 1 the
+	// search explores subtrees concurrently from a shared best-bound node
+	// pool (see parallel.go): it proves the same optimum and the same
+	// bound, but may return a different optimal assignment when several
+	// exist, and Nodes/LPIters vary run to run.
+	Workers int
 	// Branching selects the branching rule.
 	Branching Branching
 	// Incumbent optionally provides a full variable assignment known (or
@@ -181,6 +190,7 @@ type node struct {
 	branchVar int  // index into m.Ints of the variable branched to create this node; -1 at root
 	branchUp  bool // direction of that branch
 	id        int  // creation-order id for telemetry (root = 1)
+	owner     int  // 1-based id of the worker that created it; 0 for root/serial
 }
 
 type solver struct {
@@ -282,6 +292,13 @@ func SolveCtx(ctx context.Context, m *Model, opt Options) *Result {
 	}
 	if opt.ProgressEvery <= 0 {
 		opt.ProgressEvery = 512
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && len(m.Ints) > 0 {
+		return solveParallel(ctx, m, opt, workers)
 	}
 	s := &solver{
 		m:            m,

@@ -82,10 +82,11 @@ func TestObserverRandomMIPNodeAccounting(t *testing.T) {
 }
 
 func TestObserverMatchesUnobservedSolve(t *testing.T) {
-	// Observation must not perturb the search.
-	plain := solveKnapsack(t, Options{})
+	// Observation must not perturb the search. Workers: 1 pins the serial
+	// path — parallel runs vary node counts run to run by design.
+	plain := solveKnapsack(t, Options{Workers: 1})
 	rec := &obs.Recorder{}
-	observed := solveKnapsack(t, Options{Obs: obs.New(rec)})
+	observed := solveKnapsack(t, Options{Workers: 1, Obs: obs.New(rec)})
 	if plain.Objective != observed.Objective || plain.Nodes != observed.Nodes ||
 		plain.LPIters != observed.LPIters || plain.Status != observed.Status {
 		t.Errorf("observed solve differs: plain %v/%d/%d, observed %v/%d/%d",

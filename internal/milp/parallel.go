@@ -1,0 +1,592 @@
+package milp
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"afp/internal/lp"
+	"afp/internal/obs"
+)
+
+// The parallel branch and bound (Options.Workers > 1) keeps the serial
+// solver's node semantics — every popped node still ends in exactly one
+// close or prune event, so the opened == closed + pruned + open trace
+// invariant holds — but distributes subtrees across worker goroutines:
+//
+//   - a shared best-bound min-heap holds nodes available to any worker;
+//   - each worker dives: after branching it keeps the nearer child and
+//     publishes the sibling to the pool, so the pool fills with the
+//     frontier of abandoned siblings ordered by how promising they are;
+//   - pulling a node another worker created counts as a steal;
+//   - the incumbent is shared under the pool mutex, so every worker
+//     prunes against the global best;
+//   - on any exit (exhaustion, node/time limit, ctx cancellation) each
+//     worker returns its unprocessed dive node to the pool and the bound
+//     of any LP aborted mid-solve is folded in, so the reported
+//     BestBound is proven exactly as in the serial search.
+//
+// Workers=1 never reaches this file: SolveCtx dispatches here only for
+// Workers > 1, keeping the serial path bit-for-bit unchanged.
+
+// nodeHeap orders open nodes by parent bound (minimize sense), ties by
+// creation id so the pop order is stable for a given interleaving.
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].id < h[j].id
+}
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return n
+}
+
+// psolver is the state shared by all workers of one parallel solve.
+type psolver struct {
+	m        *Model
+	opt      Options
+	ctx      context.Context
+	sign     float64
+	deadline time.Time
+	workers  int
+
+	o        *obs.Observer
+	start    time.Time
+	probeGap int
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	pool          nodeHeap
+	idle          int
+	stopped       bool    // drain: limit, cancellation, exhaustion or root unbounded
+	hitLimit      bool    // stop was a limit/cancellation, not exhaustion
+	rootUnbounded bool
+	abortFold     float64 // min bound over nodes whose LP was aborted mid-solve
+
+	incumbent    []float64
+	incumbentObj float64 // minimize sense
+	haveInc      bool
+
+	nodes   int
+	lpIters int
+	pushed  int
+	prunedN int
+	steals  int
+	idleUS  int64
+
+	psUp, psDown   []float64
+	psUpN, psDownN []int
+}
+
+// pworker is one worker goroutine's private solver assets: a problem
+// clone or a cloned warm-start basis, never shared with other workers.
+type pworker struct {
+	ps   *psolver
+	id   int // 1-based
+	work *lp.Problem     // cold path: private clone whose bounds we mutate
+	inc  *lp.Incremental // warm path: private basis over a shared immutable problem
+}
+
+func solveParallel(ctx context.Context, m *Model, opt Options, workers int) *Result {
+	ps := &psolver{
+		m:            m,
+		opt:          opt,
+		ctx:          ctx,
+		sign:         1,
+		workers:      workers,
+		o:            opt.Obs,
+		start:        time.Now(),
+		probeGap:     opt.ProgressEvery,
+		abortFold:    math.Inf(1),
+		incumbentObj: math.Inf(1),
+		psUp:         make([]float64, len(m.Ints)),
+		psDown:       make([]float64, len(m.Ints)),
+		psUpN:        make([]int, len(m.Ints)),
+		psDownN:      make([]int, len(m.Ints)),
+	}
+	ps.cond = sync.NewCond(&ps.mu)
+	if m.P.Maximizing() {
+		ps.sign = -1
+	}
+	if opt.TimeLimit > 0 {
+		ps.deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	rootLo := make([]float64, len(m.Ints))
+	rootHi := make([]float64, len(m.Ints))
+	for k, v := range m.Ints {
+		lo, hi := m.P.Bounds(v)
+		rootLo[k] = math.Ceil(lo - intTol)
+		rootHi[k] = math.Floor(hi + intTol)
+	}
+
+	// Private LP assets per worker. With warm start, one pristine basis is
+	// built over a single work clone and every other worker receives a
+	// Clone() of it BEFORE anything (incumbent hint, root solve) mutates
+	// the prototype — after that the bases never touch shared mutable
+	// state. Cold workers each own a full problem clone instead.
+	base := m.P.Clone()
+	var proto *lp.Incremental
+	if opt.WarmStart {
+		if inc, err := lp.NewIncremental(base, opt.LP); err == nil {
+			proto = inc
+		}
+	}
+	pws := make([]*pworker, workers)
+	for i := range pws {
+		pw := &pworker{ps: ps, id: i + 1}
+		switch {
+		case proto != nil && i == 0:
+			pw.inc = proto
+		case proto != nil:
+			pw.inc = proto.Clone()
+		case i == 0:
+			pw.work = base
+		default:
+			pw.work = m.P.Clone()
+		}
+		pws[i] = pw
+	}
+
+	if opt.Incumbent != nil {
+		pws[0].tryHint(opt.Incumbent, rootLo, rootHi)
+	}
+
+	root := &node{lo: rootLo, hi: rootHi, bound: math.Inf(-1), branchVar: -1}
+	ps.mu.Lock()
+	ps.pushed++
+	root.id = ps.pushed
+	heap.Push(&ps.pool, root)
+	ps.mu.Unlock()
+	if ps.o.Enabled() {
+		ps.o.Emit(obs.Event{
+			Kind: obs.KindNodeOpen, Node: root.id, Depth: 0,
+			Bound: ps.sign * root.bound, BranchVar: -1,
+		})
+	}
+
+	var wg sync.WaitGroup
+	for _, pw := range pws {
+		wg.Add(1)
+		go func(pw *pworker) {
+			defer wg.Done()
+			pw.run(rootLo, rootHi)
+		}(pw)
+	}
+	wg.Wait()
+	return ps.result()
+}
+
+func (ps *psolver) timeUp() bool {
+	if ps.ctx.Err() != nil {
+		return true
+	}
+	return !ps.deadline.IsZero() && time.Now().After(ps.deadline)
+}
+
+// stopLocked flags the drain and wakes every waiter. Callers hold ps.mu.
+func (ps *psolver) stopLocked() {
+	ps.stopped = true
+	ps.cond.Broadcast()
+}
+
+// next hands the worker its next node: the dive child it kept from its
+// last branch when there is one, otherwise the best-bound node of the
+// shared pool, blocking while the pool is empty but other workers may
+// still publish. It returns nil when the search is over — pool drained
+// with all workers idle, a limit hit, or the context cancelled — after
+// returning any unprocessed dive node to the pool so the open count and
+// the folded bound stay exact. Pool nodes that the shared incumbent
+// already dominates are pruned here, before any LP is paid for.
+func (ps *psolver) next(worker int, local *node) *node {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for {
+		if ps.stopped {
+			if local != nil {
+				heap.Push(&ps.pool, local)
+			}
+			return nil
+		}
+		if ps.nodes >= ps.opt.MaxNodes || ps.timeUp() {
+			ps.hitLimit = true
+			ps.stopLocked()
+			if local != nil {
+				heap.Push(&ps.pool, local)
+			}
+			return nil
+		}
+		var n *node
+		switch {
+		case local != nil:
+			n, local = local, nil
+		case len(ps.pool) > 0:
+			n = heap.Pop(&ps.pool).(*node)
+		default:
+			ps.idle++
+			if ps.idle == ps.workers {
+				// Nothing open anywhere and nobody working: exhausted.
+				ps.stopLocked()
+				return nil
+			}
+			t0 := time.Now()
+			ps.cond.Wait()
+			ps.idleUS += time.Since(t0).Microseconds()
+			ps.idle--
+			continue
+		}
+		if ps.haveInc && n.bound >= ps.incumbentObj-ps.opt.AbsGap {
+			ps.prunedN++
+			if ps.o.Enabled() {
+				ps.o.Emit(obs.Event{
+					Kind: obs.KindNodePrune, Node: n.id, Depth: n.depth,
+					Bound: ps.sign * n.bound, Worker: worker,
+				})
+			}
+			continue
+		}
+		ps.nodes++
+		if n.owner != 0 && n.owner != worker {
+			ps.steals++
+		}
+		if ps.o.Enabled() && ps.nodes%ps.probeGap == 0 {
+			ps.emitProgressLocked(n.bound)
+		}
+		return n
+	}
+}
+
+// emitProgressLocked mirrors the serial probe. Callers hold ps.mu.
+func (ps *psolver) emitProgressLocked(curBound float64) {
+	lb := math.Min(minOpenBound(ps.pool), curBound)
+	e := obs.Event{
+		Kind: obs.KindProgress, Nodes: ps.nodes, Open: len(ps.pool),
+		Iters: ps.lpIters, Bound: ps.sign * lb,
+	}
+	if ps.haveInc {
+		e.Obj = ps.sign * ps.incumbentObj
+		e.Gap = relGap(ps.incumbentObj, lb)
+	} else {
+		e.Gap = math.Inf(1)
+	}
+	ps.o.Emit(e)
+}
+
+func (ps *psolver) emitClose(worker int, n *node, detail string, obj float64) {
+	if ps.o.Enabled() {
+		ps.o.Emit(obs.Event{
+			Kind: obs.KindNodeClose, Node: n.id, Depth: n.depth,
+			Detail: detail, Obj: ps.sign * obj, Worker: worker,
+		})
+	}
+}
+
+// openTwo assigns creation ids to a branch's children (down first, as in
+// the serial search) and reports them.
+func (ps *psolver) openTwo(worker int, down, up *node) {
+	ps.mu.Lock()
+	ps.pushed++
+	down.id = ps.pushed
+	ps.pushed++
+	up.id = ps.pushed
+	ps.mu.Unlock()
+	if ps.o.Enabled() {
+		for _, n := range [2]*node{down, up} {
+			ps.o.Emit(obs.Event{
+				Kind: obs.KindNodeOpen, Node: n.id, Depth: n.depth,
+				Bound: ps.sign * n.bound, BranchVar: n.branchVar, Worker: worker,
+			})
+		}
+	}
+}
+
+// share publishes a node to the pool and wakes one idle worker.
+func (ps *psolver) share(n *node) {
+	ps.mu.Lock()
+	heap.Push(&ps.pool, n)
+	ps.mu.Unlock()
+	ps.cond.Signal()
+}
+
+func (ps *psolver) incumbentSnapshot() (float64, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.incumbentObj, ps.haveInc
+}
+
+// publishIncumbent installs a strictly better incumbent under the lock
+// and reports it. n is nil for incumbents from hints and dives.
+func (ps *psolver) publishIncumbent(worker int, n *node, x []float64, obj float64) {
+	ps.mu.Lock()
+	if ps.haveInc && obj >= ps.incumbentObj {
+		ps.mu.Unlock()
+		return
+	}
+	ps.incumbent = append([]float64(nil), x...)
+	ps.incumbentObj = obj
+	ps.haveInc = true
+	nodes := ps.nodes
+	ps.mu.Unlock()
+	if ps.o.Enabled() {
+		e := obs.Event{Kind: obs.KindIncumbent, Obj: ps.sign * obj, Nodes: nodes, Worker: worker}
+		if n != nil {
+			e.Node = n.id
+			e.Depth = n.depth
+		}
+		ps.o.Emit(e)
+	}
+}
+
+func (ps *psolver) recordPseudo(k int, up bool, degradation float64) {
+	if degradation < 0 {
+		degradation = 0
+	}
+	ps.mu.Lock()
+	if up {
+		ps.psUp[k] += degradation
+		ps.psUpN[k]++
+	} else {
+		ps.psDown[k] += degradation
+		ps.psDownN[k]++
+	}
+	ps.mu.Unlock()
+}
+
+// pickBranchVar is the serial rule over the shared pseudo-cost history.
+func (ps *psolver) pickBranchVar(x []float64, n *node) int {
+	if ps.opt.Branching == PseudoCost {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+	}
+	best := -1
+	bestScore := intTol
+	for k, v := range ps.m.Ints {
+		if n.lo[k] == n.hi[k] {
+			continue
+		}
+		val := x[v]
+		f := val - math.Floor(val)
+		dist := math.Min(f, 1-f)
+		if dist <= intTol {
+			continue
+		}
+		var score float64
+		switch ps.opt.Branching {
+		case PseudoCost:
+			up := pseudo(ps.psUp[k], ps.psUpN[k])
+			down := pseudo(ps.psDown[k], ps.psDownN[k])
+			score = math.Min(up*(1-f), down*f) + dist*1e-3
+		default:
+			score = dist
+		}
+		if score > bestScore {
+			bestScore, best = score, k
+		}
+	}
+	return best
+}
+
+// run is one worker's loop: take a node, process it, dive on the child
+// it kept, until next reports the search over.
+func (pw *pworker) run(rootLo, rootHi []float64) {
+	var local *node
+	for {
+		n := pw.ps.next(pw.id, local)
+		if n == nil {
+			return
+		}
+		local = pw.process(n, rootLo, rootHi)
+	}
+}
+
+func (pw *pworker) setIntBounds(n *node) {
+	if pw.inc != nil {
+		for k, v := range pw.ps.m.Ints {
+			pw.inc.SetBounds(v, n.lo[k], n.hi[k])
+		}
+		return
+	}
+	for k, v := range pw.ps.m.Ints {
+		pw.work.SetBounds(v, n.lo[k], n.hi[k])
+	}
+}
+
+func (pw *pworker) solveLP() (*lp.Solution, float64) {
+	var sol *lp.Solution
+	var err error
+	if pw.inc != nil {
+		sol, err = pw.inc.SolveCtx(pw.ps.ctx)
+	} else {
+		sol, err = pw.work.SolveCtx(pw.ps.ctx, pw.ps.opt.LP)
+	}
+	if err != nil {
+		return nil, math.Inf(1)
+	}
+	pw.ps.mu.Lock()
+	pw.ps.lpIters += sol.Iterations
+	pw.ps.mu.Unlock()
+	return sol, pw.ps.sign * sol.Objective
+}
+
+// tryHint fixes integers to the hint's rounded values, re-optimizes the
+// continuous part on this worker's private LP and publishes the result.
+func (pw *pworker) tryHint(hint []float64, rootLo, rootHi []float64) {
+	ps := pw.ps
+	n := &node{lo: cloneF(rootLo), hi: cloneF(rootHi)}
+	for k, v := range ps.m.Ints {
+		val := math.Round(hint[v])
+		if val < rootLo[k]-intTol || val > rootHi[k]+intTol {
+			return
+		}
+		n.lo[k], n.hi[k] = val, val
+	}
+	pw.setIntBounds(n)
+	sol, obj := pw.solveLP()
+	if sol != nil && sol.Status == lp.StatusOptimal {
+		ps.publishIncumbent(pw.id, nil, sol.X, obj)
+	}
+}
+
+// process explores one node exactly as the serial loop does and returns
+// the dive child this worker keeps, or nil when the node closed.
+func (pw *pworker) process(n *node, rootLo, rootHi []float64) *node {
+	ps := pw.ps
+	pw.setIntBounds(n)
+	sol, obj := pw.solveLP()
+	if sol == nil {
+		if ps.timeUp() {
+			// Cancellation aborted this node's LP mid-solve: its parent
+			// bound is unexplored mass, fold it into the proven bound.
+			ps.emitClose(pw.id, n, "cancelled", n.bound)
+			ps.mu.Lock()
+			ps.hitLimit = true
+			if n.bound < ps.abortFold {
+				ps.abortFold = n.bound
+			}
+			ps.stopLocked()
+			ps.mu.Unlock()
+			return nil
+		}
+		ps.emitClose(pw.id, n, "lperror", n.bound)
+		return nil
+	}
+	switch sol.Status {
+	case lp.StatusInfeasible:
+		ps.emitClose(pw.id, n, "infeasible", n.bound)
+		return nil
+	case lp.StatusUnbounded:
+		ps.emitClose(pw.id, n, "unbounded", n.bound)
+		if n.id == 1 {
+			ps.mu.Lock()
+			ps.rootUnbounded = true
+			ps.stopLocked()
+			ps.mu.Unlock()
+		}
+		return nil
+	case lp.StatusIterLimit:
+		// Bound untrusted; treat as the parent's and branch on the guess.
+		obj = n.bound
+	}
+	if n.branchVar >= 0 && !math.IsInf(n.bound, -1) {
+		ps.recordPseudo(n.branchVar, n.branchUp, obj-n.bound)
+	}
+	if incObj, have := ps.incumbentSnapshot(); have && obj >= incObj-ps.opt.AbsGap {
+		ps.emitClose(pw.id, n, "bound", obj)
+		return nil
+	}
+
+	frac := ps.pickBranchVar(sol.X, n)
+	if frac < 0 {
+		ps.publishIncumbent(pw.id, n, sol.X, obj)
+		ps.emitClose(pw.id, n, "integer", obj)
+		return nil
+	}
+
+	if n.id == 1 && ps.opt.RootRounding {
+		pw.tryHint(sol.X, rootLo, rootHi)
+	}
+
+	v := ps.m.Ints[frac]
+	x := sol.X[v]
+	fl := math.Floor(x)
+	down := &node{lo: cloneF(n.lo), hi: cloneF(n.hi), bound: obj, depth: n.depth + 1, branchVar: frac, owner: pw.id}
+	down.hi[frac] = fl
+	up := &node{lo: cloneF(n.lo), hi: cloneF(n.hi), bound: obj, depth: n.depth + 1, branchVar: frac, branchUp: true, owner: pw.id}
+	up.lo[frac] = fl + 1
+	ps.emitClose(pw.id, n, "branched", obj)
+	ps.openTwo(pw.id, down, up)
+
+	// Dive toward the nearest integer; the sibling feeds the pool.
+	near, far := down, up
+	if x-fl >= 0.5 {
+		near, far = up, down
+	}
+	ps.share(far)
+	return near
+}
+
+// result folds the pool minimum with any aborted in-flight bounds into
+// the proven bound and assembles the Result exactly as the serial path.
+func (ps *psolver) result() *Result {
+	openLeft := len(ps.pool)
+	var st Status
+	var bound float64
+	switch {
+	case ps.rootUnbounded:
+		st = StatusUnbounded
+		bound = math.Inf(-1)
+	case ps.hitLimit:
+		bound = math.Min(minOpenBound(ps.pool), ps.abortFold)
+		if ps.haveInc {
+			st = StatusFeasible
+			if math.IsInf(bound, 1) {
+				// Every open node was closed before the stop took effect:
+				// the incumbent is actually proven.
+				bound = ps.incumbentObj
+			}
+		} else {
+			st = StatusLimit
+			if math.IsInf(bound, 1) {
+				bound = math.Inf(-1)
+			}
+		}
+	case ps.haveInc:
+		st = StatusOptimal
+		bound = ps.incumbentObj
+	default:
+		st = StatusInfeasible
+		bound = math.Inf(-1)
+	}
+
+	r := &Result{Status: st, Nodes: ps.nodes, LPIters: ps.lpIters}
+	if ps.haveInc {
+		r.X = ps.incumbent
+		r.Objective = ps.sign * ps.incumbentObj
+	}
+	r.BestBound = ps.sign * bound
+	if ps.o.Enabled() {
+		ps.o.Emit(obs.Event{
+			Kind: obs.KindSearchParallel, Workers: ps.workers,
+			Steals: ps.steals, IdleUS: ps.idleUS,
+		})
+		ps.o.Emit(obs.Event{
+			Kind: obs.KindSearchDone, Status: st.String(),
+			Obj: r.Objective, Bound: r.BestBound, Gap: r.Gap(),
+			Nodes: ps.nodes, Iters: ps.lpIters,
+			Open: openLeft, Pruned: ps.prunedN,
+			DurUS: time.Since(ps.start).Microseconds(),
+		})
+	}
+	return r
+}

@@ -52,6 +52,10 @@ const (
 	KindProgress Kind = "progress"
 	// KindSearchDone summarizes a finished branch-and-bound search.
 	KindSearchDone Kind = "search.done"
+	// KindSearchParallel summarizes the parallel branch-and-bound run that
+	// preceded a search.done event: worker count, shared-pool steal count
+	// and cumulative worker idle time. Emitted only at Workers > 1.
+	KindSearchParallel Kind = "search.parallel"
 	// KindStepStart opens one successive-augmentation step: group
 	// composition, covering-rectangle count and 0-1 variable count.
 	KindStepStart Kind = "step.start"
@@ -129,6 +133,18 @@ type Event struct {
 	// Accepted / Attempted are per-temperature annealing move counts.
 	Accepted  int `json:"accepted,omitempty"`
 	Attempted int `json:"attempted,omitempty"`
+
+	// Worker is the 1-based branch-and-bound worker id that produced a
+	// node.* event; 0 (omitted) for the serial search.
+	Worker int `json:"worker,omitempty"`
+	// Workers is the worker count of a search.parallel summary.
+	Workers int `json:"workers,omitempty"`
+	// Steals counts nodes a worker pulled from the shared pool that were
+	// created by a different worker.
+	Steals int `json:"steals,omitempty"`
+	// IdleUS is the cumulative time workers spent waiting for work, in
+	// microseconds, summed across workers.
+	IdleUS int64 `json:"idle_us,omitempty"`
 
 	// DurUS is the duration of the traced unit in microseconds.
 	DurUS int64 `json:"dur_us,omitempty"`
@@ -326,6 +342,9 @@ func (s *LogSink) Emit(e Event) {
 	case KindSearchDone:
 		fmt.Fprintf(s.w, "[%8.3fs] b&b done: %s, obj %.6g, bound %.6g, gap %.2f%%, %d nodes, %d lp iters\n",
 			sec(e.T), e.Status, e.Obj, e.Bound, 100*e.Gap, e.Nodes, e.Iters)
+	case KindSearchParallel:
+		fmt.Fprintf(s.w, "[%8.3fs] b&b parallel: %d workers, %d steals, %.0fms idle\n",
+			sec(e.T), e.Workers, e.Steals, float64(e.IdleUS)/1e3)
 	case KindAdjust:
 		fmt.Fprintf(s.w, "[%8.3fs] adjust %d: chip %.2f x %.2f\n",
 			sec(e.T), e.Step, e.Obj, e.Height)
@@ -381,6 +400,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	timers   map[string]time.Duration
+	gauges   map[string]float64
 }
 
 // Count adds n to the named counter.
@@ -416,6 +436,44 @@ func (m *Metrics) Timed(name string, f func()) {
 	m.Time(name, time.Since(start))
 }
 
+// GaugeAdd shifts the named gauge by delta. Unlike counters, gauges are
+// level values that rise and fall (queue depth, running jobs); they are
+// reported in the snapshot under their plain name.
+func (m *Metrics) GaugeAdd(name string, delta float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]float64)
+	}
+	m.gauges[name] += delta
+	m.mu.Unlock()
+}
+
+// SetGauge sets the named gauge to an absolute value.
+func (m *Metrics) SetGauge(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]float64)
+	}
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Gauge returns the current value of the named gauge.
+func (m *Metrics) Gauge(name string) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
 // Counter returns the current value of the named counter.
 func (m *Metrics) Counter(name string) int64 {
 	if m == nil {
@@ -426,8 +484,8 @@ func (m *Metrics) Counter(name string) int64 {
 	return m.counters[name]
 }
 
-// Snapshot returns a stable, flat view: counters under their own names,
-// timers as "<name>_ms" in milliseconds.
+// Snapshot returns a stable, flat view: counters and gauges under their
+// own names, timers as "<name>_ms" in milliseconds.
 func (m *Metrics) Snapshot() map[string]float64 {
 	out := make(map[string]float64)
 	if m == nil {
@@ -440,6 +498,9 @@ func (m *Metrics) Snapshot() map[string]float64 {
 	}
 	for k, v := range m.timers {
 		out[k+"_ms"] = float64(v) / float64(time.Millisecond)
+	}
+	for k, v := range m.gauges {
+		out[k] = v
 	}
 	return out
 }

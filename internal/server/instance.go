@@ -59,6 +59,14 @@ type SolveOptions struct {
 	// deliberately NOT part of the cache key: only complete results are
 	// cached, and a complete result is valid under any deadline.
 	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// Workers is the branch-and-bound worker count inside this job's MILP
+	// subproblems. 0 (the default) means serial: the pool already runs
+	// jobs concurrently, so jobs don't claim extra cores unless asked.
+	// The server caps the value so pool×workers never oversubscribes the
+	// host. Like the deadline, Workers is an execution knob, not part of
+	// the problem, and is excluded from the cache key — any worker count
+	// proves the same optimum.
+	Workers int `json:"workers,omitempty"`
 }
 
 // DesignSpec is the inline JSON form of a netlist.Design.
@@ -154,6 +162,9 @@ func Resolve(req *SolveRequest) (*Instance, error) {
 	if opts.TimeoutMS < 0 {
 		return nil, fmt.Errorf("timeoutMs must be >= 0")
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("workers must be >= 0")
+	}
 	return &Instance{Design: d, Opts: opts}, nil
 }
 
@@ -203,8 +214,8 @@ func (s *DesignSpec) toDesign() (*netlist.Design, error) {
 }
 
 // canonicalInstance is the hashed form. Every field that changes the
-// solve outcome appears here; the deadline does not (see
-// SolveOptions.TimeoutMS).
+// solve outcome appears here; the deadline and the worker count do not
+// (see SolveOptions.TimeoutMS and SolveOptions.Workers).
 type canonicalInstance struct {
 	Modules []netlist.Module
 	Nets    []canonicalNet

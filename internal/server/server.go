@@ -77,6 +77,7 @@ func New(cfg Config) *Server {
 		started:    time.Now(),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+	s.metrics.SetGauge("pool_workers", float64(cfg.Workers))
 	return s
 }
 
@@ -177,6 +178,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, "solve queue is full")
 		return
 	}
+	// Balanced by the decrement at the top of runJob, which every
+	// submitted job reaches (the pool drains its queue on close).
+	s.metrics.GaugeAdd("queue_depth", 1)
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, State: j.State(), Key: key})
 }
 
@@ -252,6 +256,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Aggregate worker utilization: cumulative solve wall-clock over the
+	// pool's total capacity since start, as a percentage. In-flight jobs
+	// contribute once they finish (the solve timer accumulates at job
+	// end), so this is a trailing aggregate, not an instantaneous load.
+	if capacity := time.Since(s.started).Seconds() * float64(s.cfg.Workers); capacity > 0 {
+		busy := s.metrics.Snapshot()["solve_ms"] / 1000
+		s.metrics.SetGauge("worker_utilization_pct", 100*busy/capacity)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = s.metrics.WriteJSON(w)

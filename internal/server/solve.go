@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
 	"time"
 
 	"afp/internal/anneal"
@@ -72,6 +73,8 @@ type StepView struct {
 // classify the outcome and publish the terminal state. Complete results
 // are inserted into the cache.
 func (s *Server) runJob(j *Job) {
+	// Dequeued: off the queue-depth gauge whatever happens next.
+	s.metrics.GaugeAdd("queue_depth", -1)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	if !j.tryStart(cancel) {
 		// Cancelled while queued: release the slot without solving.
@@ -80,6 +83,8 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	defer cancel()
+	s.metrics.GaugeAdd("running_jobs", 1)
+	defer s.metrics.GaugeAdd("running_jobs", -1)
 	if ms := j.Instance.Opts.TimeoutMS; ms > 0 {
 		var cancelT context.CancelFunc
 		ctx, cancelT = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
@@ -87,7 +92,7 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	start := time.Now()
-	res, err := solveInstance(ctx, j.Instance, obs.New(obs.Multi(j.trace, s.sink)))
+	res, err := solveInstance(ctx, j.Instance, s.jobWorkers(j.Instance.Opts.Workers), obs.New(obs.Multi(j.trace, s.sink)))
 	dur := time.Since(start)
 	s.metrics.Time("solve", dur)
 
@@ -121,8 +126,27 @@ func (s *Server) runJob(j *Job) {
 	}
 }
 
-// solveInstance dispatches to the selected solver.
-func solveInstance(ctx context.Context, in *Instance, o *obs.Observer) (*core.Result, error) {
+// jobWorkers caps a job's requested branch-and-bound worker count so
+// that pool.Workers × per-job workers never exceeds the host's CPUs.
+// Unset (0) requests stay serial: pool-level concurrency is the
+// server's primary parallelism.
+func (s *Server) jobWorkers(requested int) int {
+	if requested < 1 {
+		return 1
+	}
+	maxPer := runtime.GOMAXPROCS(0) / s.cfg.Workers
+	if maxPer < 1 {
+		maxPer = 1
+	}
+	if requested > maxPer {
+		return maxPer
+	}
+	return requested
+}
+
+// solveInstance dispatches to the selected solver. workers is the
+// already-capped branch-and-bound worker count (>= 1).
+func solveInstance(ctx context.Context, in *Instance, workers int, o *obs.Observer) (*core.Result, error) {
 	switch in.Opts.Solver {
 	case "anneal":
 		cfg := anneal.Config{
@@ -133,6 +157,7 @@ func solveInstance(ctx context.Context, in *Instance, o *obs.Observer) (*core.Re
 		return anneal.FloorplanCtx(ctx, in.Design, cfg)
 	default:
 		cfg := in.coreConfig()
+		cfg.Workers = workers
 		cfg.Obs = o
 		return core.FloorplanCtx(ctx, in.Design, cfg)
 	}
