@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci vet race bench benchall serve e2e clean
+.PHONY: all build test ci vet race bench benchall benchcmp serve e2e clean
 
 all: build
 
@@ -15,9 +15,10 @@ test:
 
 # race runs the race detector over the packages with concurrency-sensitive
 # instrumentation and concurrency proper: the observability sinks, the
-# solvers they observe, the width-sweep driver and the HTTP service.
+# solvers they observe, the model layer (presolve equivalence properties),
+# the width-sweep driver and the HTTP service.
 race:
-	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp ./internal/server ./internal/core
+	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp ./internal/mipmodel ./internal/server ./internal/core
 
 # ci is the gate run before merging: static checks, a full build, and the
 # race-instrumented solver tests.
@@ -33,10 +34,11 @@ e2e:
 	$(GO) test -run 'CLI|E2E' -v .
 
 # bench runs the Table 1/Table 3 quick benches (including the serial vs
-# Workers=4 pairs) and persists a machine-readable BENCH_<utc-date>.json
-# snapshot (ns/op, util%, LP iters, speedups) via cmd/benchjson.
+# Workers=4 pairs) plus the presolve node-count ablation, and persists a
+# machine-readable BENCH_<utc-date>.json snapshot (ns/op, util%, LP
+# iters, nodes, speedups) via cmd/benchjson.
 bench:
-	$(GO) test -bench='Table1|Table3' -benchtime=1x -run=^$$ . > bench.out
+	$(GO) test -bench='Table1|Table3|Presolve' -benchtime=1x -run=^$$ . > bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -out BENCH_$$(date -u +%Y-%m-%d).json < bench.out
 	@rm -f bench.out
@@ -44,6 +46,12 @@ bench:
 # benchall runs every benchmark once without persisting a snapshot.
 benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# benchcmp diffs the two most recent committed BENCH_*.json snapshots.
+benchcmp:
+	@set -- $$(ls BENCH_*.json | sort | tail -2); \
+	if [ $$# -lt 2 ]; then echo "benchcmp: need at least two BENCH_*.json snapshots"; exit 1; fi; \
+	$(GO) run ./cmd/benchjson -diff $$1 $$2
 
 clean:
 	$(GO) clean ./...

@@ -276,6 +276,43 @@ func benchLinearization(b *testing.B, mode mipmodel.Linearization) {
 func BenchmarkAblationLinearizeSecant(b *testing.B)  { benchLinearization(b, mipmodel.Secant) }
 func BenchmarkAblationLinearizeTangent(b *testing.B) { benchLinearization(b, mipmodel.Tangent) }
 
+// Presolve ablation on the 9-module flexible design: tightened big-M
+// coefficients plus the model/bound presolve against the textbook blanket
+// formulation. Workers is pinned to 1 so the node counts are
+// deterministic and comparable across runs; steps solve to optimality
+// (node budget far above what either variant needs), so the heights of
+// the two variants must agree.
+func benchPresolve(b *testing.B, off bool) {
+	d := &netlist.Design{Name: "flex"}
+	for i := 0; i < 9; i++ {
+		d.Modules = append(d.Modules, netlist.Module{
+			Name: string(rune('a' + i)), Kind: netlist.Flexible,
+			Area: 40 + 10*float64(i%3), MinAspect: 0.4, MaxAspect: 2.5,
+		})
+	}
+	cfg := core.Config{
+		GroupSize:  3,
+		MILP:       milp.Options{MaxNodes: 50000, TimeLimit: 30 * time.Second},
+		Workers:    1,
+		NoPresolve: off,
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := core.Floorplan(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes := 0
+		for _, s := range r.Steps {
+			nodes += s.Nodes
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+		b.ReportMetric(r.Height, "height")
+	}
+}
+
+func BenchmarkPresolveOn(b *testing.B)  { benchPresolve(b, false) }
+func BenchmarkPresolveOff(b *testing.B) { benchPresolve(b, true) }
+
 // Exact (Section 2.3 single MILP) versus successive augmentation on a
 // small design: quantifies the suboptimality of the greedy decomposition.
 func benchExactVsAug(b *testing.B, exact bool) {

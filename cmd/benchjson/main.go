@@ -5,6 +5,11 @@
 // b.ReportMetric units like util% and lpiters — and benchmarks named
 // `<base>Workers<N>` are paired with their `<base>Workers1` sibling to
 // derive wall-clock speedups. `make bench` wires it up.
+//
+// With -diff OLD.json NEW.json it instead compares two snapshots,
+// printing the relative change of every shared metric plus any
+// benchmarks added or removed; `make benchcmp` diffs the two most recent
+// snapshots.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -49,7 +55,20 @@ var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(-(\d+))?\s+(\d+)\s+(.*)$`)
 func main() {
 	out := flag.String("out", "", "output file (empty = stdout)")
 	date := flag.String("date", "", "snapshot date (default: today, UTC)")
+	diff := flag.Bool("diff", false, "compare two snapshot files: benchjson -diff OLD.json NEW.json")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two snapshot files")
+			os.Exit(1)
+		}
+		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	snap, err := parse(os.Stdin)
 	if err != nil {
@@ -153,4 +172,67 @@ func speedups(bs []Benchmark) map[string]float64 {
 		out[b.Name] = serial / par
 	}
 	return out
+}
+
+// loadSnapshot reads one committed BENCH_*.json file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var s Snapshot
+	if err := json.NewDecoder(f).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// runDiff prints the relative change of every metric shared by the two
+// snapshots, one line per benchmark/metric pair, plus benchmarks that
+// appear in only one of them.
+func runDiff(w io.Writer, oldPath, newPath string) error {
+	oldS, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newS, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s (%s) -> %s (%s)\n", oldPath, oldS.Date, newPath, newS.Date)
+	oldBy := make(map[string]Benchmark, len(oldS.Benchmarks))
+	for _, b := range oldS.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(newS.Benchmarks))
+	for _, nb := range newS.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s  added\n", nb.Name)
+			continue
+		}
+		keys := make([]string, 0, len(nb.Metrics))
+		for k := range nb.Metrics {
+			if _, shared := ob.Metrics[k]; shared {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ov, nv := ob.Metrics[k], nb.Metrics[k]
+			fmt.Fprintf(w, "%-40s  %-10s  %12.4g -> %-12.4g", nb.Name, k, ov, nv)
+			if ov != 0 {
+				fmt.Fprintf(w, "  %+.1f%%", 100*(nv-ov)/ov)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, ob := range oldS.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-40s  removed\n", ob.Name)
+		}
+	}
+	return nil
 }

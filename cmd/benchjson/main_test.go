@@ -1,7 +1,10 @@
 package main
 
 import (
+	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,5 +56,49 @@ func TestParse(t *testing.T) {
 func TestParseEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok afp 1s\n")); err == nil {
 		t.Fatal("expected error on input without benchmarks")
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("BENCH_old.json", `{
+		"date": "2026-08-01",
+		"benchmarks": [
+			{"name": "PresolveOn", "iterations": 1, "metrics": {"ns/op": 200, "nodes": 800}},
+			{"name": "Gone", "iterations": 1, "metrics": {"ns/op": 5}}
+		]
+	}`)
+	newPath := write("BENCH_new.json", `{
+		"date": "2026-08-05",
+		"benchmarks": [
+			{"name": "PresolveOn", "iterations": 1, "metrics": {"ns/op": 100, "nodes": 200}},
+			{"name": "Fresh", "iterations": 1, "metrics": {"ns/op": 7}}
+		]
+	}`)
+	var buf strings.Builder
+	if err := runDiff(&buf, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"2026-08-01", "2026-08-05",
+		"-50.0%",  // ns/op 200 -> 100
+		"-75.0%",  // nodes 800 -> 200
+		"added",   // Fresh
+		"removed", // Gone
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runDiff(io.Discard, oldPath, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error for a missing snapshot file")
 	}
 }

@@ -72,6 +72,8 @@ func run() error {
 		workers   = flag.Int("workers", 0, "branch-and-bound workers per MILP step (0 = one per CPU, 1 = serial)")
 		sweepWork = flag.Int("sweepworkers", 0, "concurrent width trials with -sweep (0 = all at once)")
 		timeout   = flag.Duration("timeout", 0, "overall solve deadline (0 = none); the partial floorplan is still reported")
+		presolve  = flag.Bool("presolve", true, "tighten big-M coefficients and fix forced binaries before branch-and-bound")
+		verify    = flag.Bool("verify", false, "check the final floorplan for legality and exit non-zero on violations")
 	)
 	flag.Parse()
 
@@ -138,6 +140,7 @@ func run() error {
 		GroupSize:    *group,
 		Envelopes:    *envelopes,
 		PostOptimize: *post,
+		NoPresolve:   !*presolve,
 		MILP:         milp.Options{MaxNodes: *nodes, TimeLimit: *stepTime},
 		Workers:      *workers,
 		SweepWorkers: *sweepWork,
@@ -206,6 +209,30 @@ func run() error {
 		}
 	}
 
+	var verifyErr error
+	if *verify {
+		violations := r.Verify()
+		if partial {
+			// A partial floorplan legitimately misses the unplaced modules;
+			// only geometric defects of what WAS placed count against it.
+			kept := violations[:0]
+			for _, v := range violations {
+				if v.Kind != "missing" {
+					kept = append(kept, v)
+				}
+			}
+			violations = kept
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "floorplan: violation:", v)
+			}
+			verifyErr = fmt.Errorf("verification failed: %d violation(s)", len(violations))
+		} else {
+			fmt.Println("verified: floorplan is legal")
+		}
+	}
+
 	var rt *route.Result
 	if *doRoute && partial {
 		fmt.Fprintln(os.Stderr, "floorplan: skipping routing of a partial floorplan")
@@ -238,9 +265,11 @@ func run() error {
 		fmt.Printf("wrote %s\n", *placeOut)
 	}
 	if *svgOut != "" {
-		return writeSVG(*svgOut, r, rt)
+		if err := writeSVG(*svgOut, r, rt); err != nil {
+			return err
+		}
 	}
-	return nil
+	return verifyErr
 }
 
 // isCtxErr reports whether err stems from cancellation or a deadline —

@@ -52,6 +52,7 @@ func run() error {
 		maxNodes  = flag.Int("nodes", 200000, "branch-and-bound node limit")
 		workers   = flag.Int("workers", 0, "branch-and-bound workers (0 = one per CPU, 1 = serial)")
 		timeout   = flag.Duration("timeout", time.Minute, "solve time limit")
+		presolve  = flag.Bool("presolve", true, "propagate variable bounds through the rows before branch-and-bound")
 		traceOut  = flag.String("trace", "", "write a JSONL event trace (lp.solve, node.*) to this file")
 		verbose   = flag.Bool("verbose", false, "log branch-and-bound progress to stderr")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -114,7 +115,7 @@ func run() error {
 		defer cancel()
 	}
 
-	opts := milp.Options{MaxNodes: *maxNodes, Workers: *workers, Obs: observer}
+	opts := milp.Options{MaxNodes: *maxNodes, Workers: *workers, Presolve: *presolve, Obs: observer}
 	opts.LP.Obs = observer
 	res := milp.SolveCtx(ctx, m, opts)
 	if err := ctx.Err(); err != nil {

@@ -37,6 +37,7 @@ func FloorplanExact(d *netlist.Design, cfg Config) (*Result, error) {
 		Objective:  c.Objective,
 		WireWeight: c.WireWeight,
 		Linearize:  c.Linearize,
+		BlanketM:   c.NoPresolve,
 	}
 	for i := range d.Modules {
 		m := &d.Modules[i]
@@ -66,9 +67,11 @@ func FloorplanExact(d *netlist.Design, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: exact: %w", err)
 	}
+	c.presolve(built, 0)
 	hintEnvs, rotated, dws := bottomLeftHint(spec, nil)
 	opts := c.MILP
 	opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
+	opts.Presolve = !c.NoPresolve
 	opts.Obs = c.Obs
 	opts.LP.Obs = c.Obs
 	c.Obs.Emit(obs.Event{

@@ -82,6 +82,13 @@ type Config struct {
 	// 2.2). Steps whose constraints turn out infeasible are retried
 	// without them and flagged Relaxed in the trace.
 	CriticalMaxLen float64
+	// NoPresolve disables the formulation strengthening of every step's
+	// MILP: the per-row tightened big-M coefficients (mipmodel.Spec.
+	// BlanketM), the geometric presolve pass (mipmodel.Built.Presolve) and
+	// the branch-and-bound bound propagation (milp.Options.Presolve). The
+	// optimum is identical either way — presolve only prunes the search —
+	// so this is an escape hatch for debugging and A/B measurement.
+	NoPresolve bool
 	// Obs receives augmentation telemetry (step.start/step.done events)
 	// and is threaded into the MILP and LP layers so a single sink sees
 	// the whole solve. Nil (the default) disables instrumentation at no
@@ -250,6 +257,7 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			WireWeight: c.WireWeight,
 			Linearize:  c.Linearize,
 			Obstacles:  obstacles,
+			BlanketM:   c.NoPresolve,
 		}
 		for _, mi := range group {
 			m := &d.Modules[mi]
@@ -301,11 +309,14 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		if err != nil {
 			return nil, fmt.Errorf("core: step %d: %w", step, err)
 		}
+		c.presolve(built, step)
 
-		// Seed branch and bound with a bottom-left packing of the group.
+		// Seed branch and bound with a bottom-left packing of the group
+		// (after presolve, so Hint sees the symmetry pinning).
 		hintEnvs, rotated, dws := bottomLeftHint(spec, obstacles)
 		opts := c.MILP
 		opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
+		opts.Presolve = !c.NoPresolve
 		opts.Obs = c.Obs
 		opts.LP.Obs = c.Obs
 
@@ -330,6 +341,7 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			if err != nil {
 				return nil, fmt.Errorf("core: step %d: %w", step, err)
 			}
+			c.presolve(built, step)
 			opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
 			mres = milp.SolveCtx(ctx, built.Model, opts)
 		}
@@ -394,6 +406,22 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		return opt, nil
 	}
 	return res, nil
+}
+
+// presolve runs the geometric presolve pass on a built subproblem unless
+// disabled, reporting the reductions through the observer.
+func (c *Config) presolve(built *mipmodel.Built, step int) {
+	if c.NoPresolve {
+		return
+	}
+	st := built.Presolve()
+	if c.Obs.Enabled() {
+		c.Obs.Emit(obs.Event{
+			Kind: obs.KindPresolve, Detail: "model", Step: step,
+			Fixed: st.FixedBinaries, Tightened: st.TightenedBounds,
+			MReduction: st.MReduction,
+		})
+	}
 }
 
 // bottomLeftHint builds a feasible packing of the group above the

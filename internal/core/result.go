@@ -137,9 +137,9 @@ func (r *Result) HPWL() float64 {
 	return total
 }
 
-// Overlaps reports whether any pair of placed envelopes overlaps; a valid
-// floorplan returns false.
+// Overlaps reports whether any pair of placed envelopes overlaps by more
+// than the solver tolerance; a valid floorplan returns false.
 func (r *Result) Overlaps() bool {
-	_, _, bad := geom.AnyOverlap(r.Envelopes())
+	_, _, bad := geom.AnyOverlapTol(r.Envelopes(), geom.Tol)
 	return bad
 }

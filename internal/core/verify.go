@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"afp/internal/geom"
 	"afp/internal/netlist"
 )
 
@@ -30,7 +31,9 @@ func (v Violation) String() string {
 //   - rigid modules keep their dimensions (modulo rotation);
 //   - flexible modules conserve area and respect their aspect bounds.
 func (r *Result) Verify() []Violation {
-	const tol = 1e-6
+	// The shared solver tolerance: presolve, decode and the build-time fit
+	// checks all agree with verification on what "touching" means.
+	const tol = geom.Tol
 	var out []Violation
 	d := r.Design
 
@@ -57,7 +60,7 @@ func (r *Result) Verify() []Violation {
 	for i := range r.Placements {
 		for j := i + 1; j < len(r.Placements); j++ {
 			a, b := &r.Placements[i], &r.Placements[j]
-			if a.Env.Overlaps(b.Env) {
+			if a.Env.OverlapsTol(b.Env, tol) {
 				in, _ := a.Env.Intersect(b.Env)
 				out = append(out, Violation{Kind: "overlap", Module: a.Index, Other: b.Index,
 					Detail: fmt.Sprintf("envelopes of %d and %d overlap by area %.4g", a.Index, b.Index, in.Area()),

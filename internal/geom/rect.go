@@ -16,6 +16,15 @@ import (
 // treated as coincident.
 const Eps = 1e-9
 
+// Tol is the solver-facing feasibility tolerance shared by the MILP
+// builder's fit checks, the presolve pass, solution decoding and
+// floorplan verification. It is deliberately looser than Eps: simplex
+// solutions carry accumulated rounding on the order of 1e-7 on
+// floorplanning instances, so "touching" at the solver level means
+// within Tol, while Eps remains the exact-geometry coincidence
+// threshold for constructions like covering rectangles.
+const Tol = 1e-6
+
 // Rect is an axis-aligned rectangle identified by its lower-left corner
 // (X, Y) and its extent (W, H). The floorplanning formulation of the paper
 // positions every module by its lower-left corner, so the same convention
@@ -65,6 +74,15 @@ func (r Rect) ContainsRect(s Rect) bool {
 func (r Rect) Overlaps(s Rect) bool {
 	return r.X < s.X2()-Eps && s.X < r.X2()-Eps &&
 		r.Y < s.Y2()-Eps && s.Y < r.Y2()-Eps
+}
+
+// OverlapsTol reports whether r and s share interior area when edges
+// closer than tol are considered touching. Verification and presolve use
+// it with Tol so that solver output carrying simplex rounding noise is
+// not flagged as overlapping.
+func (r Rect) OverlapsTol(s Rect, tol float64) bool {
+	return r.X < s.X2()-tol && s.X < r.X2()-tol &&
+		r.Y < s.Y2()-tol && s.Y < r.Y2()-tol
 }
 
 // Intersect returns the intersection of r and s and whether it is
@@ -186,6 +204,18 @@ func AnyOverlap(rects []Rect) (i, j int, ok bool) {
 	for a := range rects {
 		for b := a + 1; b < len(rects); b++ {
 			if rects[a].Overlaps(rects[b]) {
+				return a, b, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// AnyOverlapTol is AnyOverlap with an explicit touching tolerance.
+func AnyOverlapTol(rects []Rect, tol float64) (i, j int, ok bool) {
+	for a := range rects {
+		for b := a + 1; b < len(rects); b++ {
+			if rects[a].OverlapsTol(rects[b], tol) {
 				return a, b, true
 			}
 		}

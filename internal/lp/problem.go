@@ -168,6 +168,47 @@ func (p *Problem) Clone() *Problem {
 	return q
 }
 
+// Infeasibilities evaluates every constraint and variable bound at the
+// point x (one value per variable, in AddVariable order) and returns a
+// human-readable description of each violation exceeding tol. It returns
+// nil when x is feasible within tol. Property tests use it to check that
+// candidate assignments (e.g. branch-and-bound warm-start hints) satisfy
+// the model they are offered to.
+func (p *Problem) Infeasibilities(x []float64, tol float64) []string {
+	var out []string
+	if len(x) != len(p.names) {
+		return []string{fmt.Sprintf("lp: point has %d values for %d variables", len(x), len(p.names))}
+	}
+	for v, xv := range x {
+		if xv < p.lo[v]-tol {
+			out = append(out, fmt.Sprintf("%s = %.9g below lower bound %.9g", p.names[v], xv, p.lo[v]))
+		}
+		if xv > p.hi[v]+tol {
+			out = append(out, fmt.Sprintf("%s = %.9g above upper bound %.9g", p.names[v], xv, p.hi[v]))
+		}
+	}
+	for i, row := range p.rows {
+		var lhs float64
+		for _, t := range row {
+			lhs += t.Coef * x[t.Var]
+		}
+		viol := 0.0
+		switch p.ops[i] {
+		case LE:
+			viol = lhs - p.rhs[i]
+		case GE:
+			viol = p.rhs[i] - lhs
+		default:
+			viol = math.Abs(lhs - p.rhs[i])
+		}
+		if viol > tol {
+			out = append(out, fmt.Sprintf("%s: %.9g %s %.9g violated by %.3g",
+				p.conNames[i], lhs, p.ops[i], p.rhs[i], viol))
+		}
+	}
+	return out
+}
+
 // Status reports the outcome of a solve.
 type Status int
 

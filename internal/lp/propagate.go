@@ -1,0 +1,144 @@
+package lp
+
+import "math"
+
+// propTol is the minimum improvement for a propagated bound to be
+// applied; anything smaller is numerical noise not worth a bound update.
+const propTol = 1e-7
+
+// PropagateBounds tightens variable bounds in place by interval
+// arithmetic over the constraint rows, the classic MIP presolve
+// reduction: for a row a'x <= b, each variable's coefficient together
+// with the minimum activity of the remaining terms implies a bound on
+// that variable. GE rows propagate as their negation and EQ rows as both
+// directions. Variables listed in ints additionally have their bounds
+// rounded to integers, which is where most fixings come from.
+//
+// Every derived bound is implied by the rows plus the existing bounds,
+// so the feasible set — and any optimum — is unchanged. When a derived
+// bound crosses the opposite one the problem is infeasible; the bound is
+// clamped (never inverted) and the simplex solve reports infeasibility.
+//
+// The sweep repeats until a pass changes nothing, up to passes rounds
+// (<= 0 means 4). It returns the number of bounds tightened and the
+// number of variables newly fixed (lo == hi).
+func (p *Problem) PropagateBounds(ints []VarID, passes int) (tightened, fixed int) {
+	if passes <= 0 {
+		passes = 4
+	}
+	isInt := make([]bool, len(p.names))
+	for _, v := range ints {
+		isInt[v] = true
+	}
+	wasFixed := make([]bool, len(p.names))
+	for v := range p.names {
+		wasFixed[v] = p.lo[v] == p.hi[v]
+	}
+
+	// apply one direction: row a'x <= b.
+	applyLE := func(row []Term, neg bool, b float64) bool {
+		// Minimum activity of the row, counting +Inf upper bounds that
+		// make a term's minimum -Inf.
+		sum := 0.0
+		ninf := 0
+		infVar := VarID(-1)
+		contrib := func(t Term) (float64, bool) {
+			c := t.Coef
+			if neg {
+				c = -c
+			}
+			if c > 0 {
+				return c * p.lo[t.Var], true
+			}
+			if math.IsInf(p.hi[t.Var], 1) {
+				return 0, false
+			}
+			return c * p.hi[t.Var], true
+		}
+		for _, t := range row {
+			if v, ok := contrib(t); ok {
+				sum += v
+			} else {
+				ninf++
+				infVar = t.Var
+			}
+		}
+		if ninf > 1 {
+			return false
+		}
+		changed := false
+		for _, t := range row {
+			c := t.Coef
+			if neg {
+				c = -c
+			}
+			if c == 0 {
+				continue
+			}
+			var others float64
+			if ninf == 0 {
+				own, _ := contrib(t)
+				others = sum - own
+			} else if infVar == t.Var {
+				others = sum
+			} else {
+				continue
+			}
+			limit := (b - others) / c
+			if c > 0 {
+				if isInt[t.Var] {
+					limit = math.Floor(limit + propTol)
+				}
+				if limit < p.hi[t.Var]-propTol {
+					if limit < p.lo[t.Var] {
+						limit = p.lo[t.Var] // infeasible row; clamp, never invert
+					}
+					if limit < p.hi[t.Var]-propTol {
+						p.hi[t.Var] = limit
+						tightened++
+						changed = true
+					}
+				}
+			} else {
+				if isInt[t.Var] {
+					limit = math.Ceil(limit - propTol)
+				}
+				if limit > p.lo[t.Var]+propTol {
+					if limit > p.hi[t.Var] {
+						limit = p.hi[t.Var]
+					}
+					if limit > p.lo[t.Var]+propTol {
+						p.lo[t.Var] = limit
+						tightened++
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for ci, row := range p.rows {
+			switch p.ops[ci] {
+			case LE:
+				changed = applyLE(row, false, p.rhs[ci]) || changed
+			case GE:
+				changed = applyLE(row, true, -p.rhs[ci]) || changed
+			default:
+				changed = applyLE(row, false, p.rhs[ci]) || changed
+				changed = applyLE(row, true, -p.rhs[ci]) || changed
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for v := range p.names {
+		if !wasFixed[v] && p.lo[v] == p.hi[v] {
+			fixed++
+		}
+	}
+	return tightened, fixed
+}

@@ -1,0 +1,155 @@
+package lp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPropagateBoundsLE(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10, 1)
+	y := p.AddVariable("y", 0, 10, 1)
+	p.AddConstraint("cap", []Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, LE, 4)
+	tightened, fixed := p.PropagateBounds(nil, 0)
+	if tightened != 2 || fixed != 0 {
+		t.Fatalf("tightened, fixed = %d, %d, want 2, 0", tightened, fixed)
+	}
+	for _, v := range []VarID{x, y} {
+		if _, hi := p.Bounds(v); math.Abs(hi-4) > 1e-9 {
+			t.Fatalf("%s hi = %v, want 4", p.VarName(v), hi)
+		}
+	}
+}
+
+func TestPropagateBoundsIntegerRounding(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10, 1)
+	p.AddConstraint("half", []Term{{Var: x, Coef: 2}}, LE, 5)
+	if _, _ = p.PropagateBounds([]VarID{x}, 0); true {
+		if _, hi := p.Bounds(x); hi != 2 {
+			t.Fatalf("integer hi = %v, want floor(2.5) = 2", hi)
+		}
+	}
+}
+
+func TestPropagateBoundsGEAndEQ(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10, 1)
+	y := p.AddVariable("y", 0, 1, 1)
+	p.AddConstraint("floor", []Term{{Var: x, Coef: 1}}, GE, 3)
+	z := p.AddVariable("z", 0, 10, 1)
+	p.AddConstraint("sum", []Term{{Var: z, Coef: 1}, {Var: y, Coef: 1}}, EQ, 4)
+	p.PropagateBounds(nil, 0)
+	if lo, _ := p.Bounds(x); math.Abs(lo-3) > 1e-9 {
+		t.Fatalf("x lo = %v, want 3", lo)
+	}
+	// z = 4 - y with y in [0, 1], so z in [3, 4].
+	if lo, hi := p.Bounds(z); math.Abs(lo-3) > 1e-9 || math.Abs(hi-4) > 1e-9 {
+		t.Fatalf("z bounds = [%v, %v], want [3, 4]", lo, hi)
+	}
+}
+
+func TestPropagateBoundsFixesBinary(t *testing.T) {
+	p := NewProblem()
+	z := p.AddVariable("z", 0, 1, 1)
+	p.AddConstraint("off", []Term{{Var: z, Coef: 1}}, LE, 0.4)
+	tightened, fixed := p.PropagateBounds([]VarID{z}, 0)
+	if fixed != 1 {
+		t.Fatalf("fixed = %d (tightened %d), want 1", fixed, tightened)
+	}
+	if lo, hi := p.Bounds(z); lo != 0 || hi != 0 {
+		t.Fatalf("z bounds = [%v, %v], want [0, 0]", lo, hi)
+	}
+}
+
+func TestPropagateBoundsInfiniteUpperBound(t *testing.T) {
+	// y has no upper bound; the row x + y <= 8 still bounds y through x's
+	// lower bound, and x through nothing (y's minimum is finite: 0).
+	p := NewProblem()
+	x := p.AddVariable("x", 2, math.Inf(1), 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 1)
+	p.AddConstraint("cap", []Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, LE, 8)
+	p.PropagateBounds(nil, 0)
+	if _, hi := p.Bounds(y); math.Abs(hi-6) > 1e-9 {
+		t.Fatalf("y hi = %v, want 6", hi)
+	}
+	if _, hi := p.Bounds(x); math.Abs(hi-8) > 1e-9 {
+		t.Fatalf("x hi = %v, want 8", hi)
+	}
+}
+
+func TestPropagateBoundsClampsInfeasible(t *testing.T) {
+	// x >= 5 and x <= 3 together are infeasible; propagation must clamp
+	// the derived bound instead of inverting lo > hi (SetBounds panics on
+	// inverted bounds, and branch-and-bound relies on that invariant).
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 3, 1)
+	p.AddConstraint("floor", []Term{{Var: x, Coef: 1}}, GE, 5)
+	p.PropagateBounds(nil, 0)
+	lo, hi := p.Bounds(x)
+	if lo > hi {
+		t.Fatalf("bounds inverted: [%v, %v]", lo, hi)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestPropagateBoundsPreservesOptimum(t *testing.T) {
+	// A small LP solved before and after propagation must agree.
+	build := func() *Problem {
+		p := NewProblem()
+		x := p.AddVariable("x", 0, 100, -3)
+		y := p.AddVariable("y", 0, 100, -2)
+		p.AddConstraint("c1", []Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, LE, 4)
+		p.AddConstraint("c2", []Term{{Var: x, Coef: 1}, {Var: y, Coef: 3}}, LE, 6)
+		return p
+	}
+	a := build()
+	ra, err := a.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := build()
+	b.PropagateBounds(nil, 0)
+	rb, err := b.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Status != StatusOptimal || rb.Status != StatusOptimal {
+		t.Fatalf("status %v / %v", ra.Status, rb.Status)
+	}
+	if math.Abs(ra.Objective-rb.Objective) > 1e-9 {
+		t.Fatalf("objective changed by propagation: %v vs %v", ra.Objective, rb.Objective)
+	}
+}
+
+func TestInfeasibilities(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 5, 1)
+	y := p.AddVariable("y", 0, 5, 1)
+	p.AddConstraint("cap", []Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, LE, 6)
+	p.AddConstraint("eq", []Term{{Var: x, Coef: 1}}, EQ, 2)
+
+	if v := p.Infeasibilities([]float64{2, 3}, 1e-9); v != nil {
+		t.Fatalf("feasible point reported violations: %v", v)
+	}
+	v := p.Infeasibilities([]float64{6, 2}, 1e-9)
+	if len(v) != 3 { // x above hi, cap violated, eq violated
+		t.Fatalf("violations = %v, want 3 entries", v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{"above upper bound", "cap", "eq"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("violations %q missing %q", joined, want)
+		}
+	}
+	if v := p.Infeasibilities([]float64{2}, 1e-9); len(v) != 1 {
+		t.Fatalf("short point: %v", v)
+	}
+}

@@ -74,6 +74,13 @@ type Options struct {
 	Workers int
 	// Branching selects the branching rule.
 	Branching Branching
+	// Presolve runs interval-arithmetic bound propagation
+	// (lp.PropagateBounds) on a private clone of the problem before the
+	// search, tightening root bounds and fixing implied integers. The
+	// feasible set and optimum are unchanged; the caller's Problem is not
+	// modified. One presolve.done event reports the reductions when Obs is
+	// set.
+	Presolve bool
 	// Incumbent optionally provides a full variable assignment known (or
 	// hoped) to be feasible; integer variables are fixed to its (rounded)
 	// values and the continuous part is re-optimized to seed the search
@@ -292,6 +299,17 @@ func SolveCtx(ctx context.Context, m *Model, opt Options) *Result {
 	}
 	if opt.ProgressEvery <= 0 {
 		opt.ProgressEvery = 512
+	}
+	if opt.Presolve {
+		q := m.P.Clone()
+		tightened, fixed := q.PropagateBounds(m.Ints, 0)
+		if opt.Obs.Enabled() {
+			opt.Obs.Emit(obs.Event{
+				Kind: obs.KindPresolve, Detail: "propagate",
+				Tightened: tightened, Fixed: fixed,
+			})
+		}
+		m = &Model{P: q, Ints: m.Ints}
 	}
 	workers := opt.Workers
 	if workers <= 0 {

@@ -2,6 +2,7 @@ package mipmodel
 
 import (
 	"fmt"
+	"math"
 
 	"afp/internal/geom"
 	"afp/internal/lp"
@@ -46,7 +47,18 @@ type Built struct {
 	pairs  []pair
 	wires  []wireVar
 	bigH   float64
-	floorY float64 // highest obstacle top; lower bound on Height
+	floorY float64   // highest obstacle top; lower bound on Height
+	yLo    []float64 // per-module obstacle floor level (see presolve.go)
+
+	// mBlanketSum and mTightSum accumulate the big-M mass of the blanket
+	// formulation and of the rows actually emitted, so that presolve can
+	// report the overall M reduction.
+	mBlanketSum, mTightSum float64
+
+	// symGroups lists the slot indices of each interchangeable-module group
+	// whose pair binaries Presolve pinned for symmetry breaking; Hint
+	// reorders the members of each group so geometric hints stay feasible.
+	symGroups [][]int
 }
 
 // Build constructs the MILP for the subproblem described by spec.
@@ -64,7 +76,7 @@ func Build(spec *Spec) (*Built, error) {
 		if err != nil {
 			return nil, err
 		}
-		if d.minWidth() > spec.ChipWidth+1e-9 {
+		if d.minWidth() > spec.ChipWidth+geom.Tol {
 			return nil, fmt.Errorf("mipmodel: module %q (min width %g) cannot fit chip width %g",
 				spec.New[i].Mod.Name, d.minWidth(), spec.ChipWidth)
 		}
@@ -72,31 +84,17 @@ func Build(spec *Spec) (*Built, error) {
 	}
 
 	W := spec.ChipWidth
-	H := spec.MaxHeight
-	if H <= 0 {
-		H = spec.defaultMaxHeight(ds)
-	}
 	floorY := 0.0
 	for _, r := range spec.Obstacles {
 		if t := r.Y2(); t > floorY {
 			floorY = t
 		}
 	}
-	if H < floorY {
-		H = floorY + 1
-	}
-
-	p := lp.NewProblem()
-	m := milp.NewModel(p)
-	b := &Built{
-		Spec: spec, Model: m, ds: ds, bigH: H, floorY: floorY,
-		X: make([]lp.VarID, n), Y: make([]lp.VarID, n),
-		Rot: make([]lp.VarID, n), DW: make([]lp.VarID, n),
-	}
 
 	// Secondary "gravity" objective weights (see Spec.Gravity). The y pull
 	// is an order of magnitude stronger than the x pull so that flatness
-	// wins over left-packing.
+	// wins over left-packing. Computed before H because the stacked-skyline
+	// bound must account for the gravity share of the objective.
 	grav := spec.Gravity
 	if grav == 0 {
 		grav = 1e-3
@@ -106,6 +104,36 @@ func Build(spec *Spec) (*Built, error) {
 	}
 	gy := grav / float64(n)
 	gx := gy / 10
+
+	H := spec.MaxHeight
+	if H <= 0 {
+		H = spec.defaultMaxHeight(ds)
+		if !spec.BlanketM {
+			// Stacked-skyline bound (DESIGN.md section 10): the objective
+			// value of the explicit "stack everything at x=0" solution caps
+			// the optimal objective, and the objective dominates the chip
+			// height, so no optimal solution needs y coordinates above it.
+			if sb := spec.stackBound(ds, floorY, gy); sb < H {
+				H = sb
+			}
+		}
+	}
+	if H < floorY {
+		H = floorY + 1
+	}
+
+	// Per-module obstacle floor levels: any placement of module i that
+	// clears the obstacles satisfies y_i >= yLo[i] (see the sliding-window
+	// argument in presolve.go). The y-row big-Ms below rely on this.
+	yLo := obstacleFloorLevels(spec, ds)
+
+	p := lp.NewProblem()
+	m := milp.NewModel(p)
+	b := &Built{
+		Spec: spec, Model: m, ds: ds, bigH: H, floorY: floorY, yLo: yLo,
+		X: make([]lp.VarID, n), Y: make([]lp.VarID, n),
+		Rot: make([]lp.VarID, n), DW: make([]lp.VarID, n),
+	}
 
 	// Placement variables.
 	for i := range spec.New {
@@ -167,19 +195,25 @@ func Build(spec *Spec) (*Built, error) {
 	}
 
 	// Valid area cut: the occupied region (obstacles plus the disjoint new
-	// modules) fits inside the W x height chip, so W*height must be at
+	// envelopes) fits inside the W x height chip, so W*height must be at
 	// least the total occupied area. The big-M relaxation of (2) is very
 	// weak on its own — fractional binaries let modules overlap freely —
 	// and this single row gives branch and bound a useful global lower
-	// bound. Module areas are taken as orientation- and shape-independent
-	// lower bounds (the bare module area), which keeps the row valid for
-	// every branch.
+	// bound. Each envelope contributes the smallest reserved box over all
+	// of its configurations (minEnvArea), which keeps the row valid on
+	// every branch while counting the routing padding the model actually
+	// reserves; BlanketM falls back to the bare module areas of the
+	// original formulation.
 	{
 		// Obstacles may overlap (the Section 3.1 overlapping-covers variant),
 		// so their contribution is the exact union area.
 		occupied := geom.UnionArea(spec.Obstacles)
 		for i := range spec.New {
-			occupied += spec.New[i].Mod.ModuleArea()
+			if spec.BlanketM {
+				occupied += spec.New[i].Mod.ModuleArea()
+			} else {
+				occupied += ds[i].minEnvArea()
+			}
 		}
 		p.AddConstraint("area.cut", []lp.Term{{Var: b.Height, Coef: W}}, lp.GE, occupied)
 	}
@@ -197,6 +231,21 @@ func Build(spec *Spec) (*Built, error) {
 			hti, hci := heff(i, 1)
 			htj, hcj := heff(j, 1)
 
+			// Per-row big-Ms (DESIGN.md section 10). The x rows keep the
+			// blanket W: at an integer point with the row inactive the worst
+			// case x_i + weff_i - x_j is W - x_j, and x_j may be 0, so
+			// nothing tighter is valid in general (W - minw_i - minw_j cuts
+			// genuine optima). The y rows exploit that every
+			// integer-feasible placement of a module rests at or above its
+			// obstacle floor level yLo, so the worst case of
+			// y_i + heff_i - y_j is H - yLo[j].
+			MB, MA := H-yLo[j], H-yLo[i]
+			if spec.BlanketM {
+				MB, MA = H, H
+			}
+			b.mBlanketSum += 2*W + 2*H
+			b.mTightSum += 2*W + MB + MA
+
 			// i left of j: x_i + weff_i <= x_j + W(z+p)
 			left := append([]lp.Term{{Var: b.X[i], Coef: 1}, {Var: b.X[j], Coef: -1},
 				{Var: zp, Coef: -W}, {Var: yp, Coef: -W}}, wti...)
@@ -207,15 +256,15 @@ func Build(spec *Spec) (*Built, error) {
 				{Var: zp, Coef: -W}, {Var: yp, Coef: W}}, wtj...)
 			p.AddConstraint(fmt.Sprintf("R.%s.%s", ni, nj), right, lp.LE, W-wcj)
 
-			// i below j: y_i + heff_i <= y_j + H(1-z+p)
+			// i below j: y_i + heff_i <= y_j + MB(1-z+p)
 			below := append([]lp.Term{{Var: b.Y[i], Coef: 1}, {Var: b.Y[j], Coef: -1},
-				{Var: zp, Coef: H}, {Var: yp, Coef: -H}}, hti...)
-			p.AddConstraint(fmt.Sprintf("B.%s.%s", ni, nj), below, lp.LE, H-hci)
+				{Var: zp, Coef: MB}, {Var: yp, Coef: -MB}}, hti...)
+			p.AddConstraint(fmt.Sprintf("B.%s.%s", ni, nj), below, lp.LE, MB-hci)
 
-			// i above j: y_j + heff_j <= y_i + H(2-z-p)
+			// i above j: y_j + heff_j <= y_i + MA(2-z-p)
 			above := append([]lp.Term{{Var: b.Y[j], Coef: 1}, {Var: b.Y[i], Coef: -1},
-				{Var: zp, Coef: H}, {Var: yp, Coef: H}}, htj...)
-			p.AddConstraint(fmt.Sprintf("A.%s.%s", ni, nj), above, lp.LE, 2*H-hcj)
+				{Var: zp, Coef: MA}, {Var: yp, Coef: MA}}, htj...)
+			p.AddConstraint(fmt.Sprintf("A.%s.%s", ni, nj), above, lp.LE, 2*MA-hcj)
 		}
 	}
 
@@ -230,23 +279,40 @@ func Build(spec *Spec) (*Built, error) {
 			wti, wci := weff(i, 1)
 			hti, hci := heff(i, 1)
 
-			// i left of r: x_i + weff_i <= r.X + W(z+p)
+			// Per-row big-Ms against a fixed rectangle: the obstacle's own
+			// coordinates bound the worst inactive-case slack exactly.
+			// Negative values are clamped to zero, which turns the row into
+			// an always-active valid cut (it only happens when geometry
+			// already forces the corresponding relation).
+			ML, MR := W-r.X, r.X2()
+			MBo, MAo := H-r.Y, r.Y2()-yLo[i]
+			if spec.BlanketM {
+				ML, MR, MBo, MAo = W, W, H, H
+			}
+			ML = math.Max(ML, 0)
+			MR = math.Max(MR, 0)
+			MBo = math.Max(MBo, 0)
+			MAo = math.Max(MAo, 0)
+			b.mBlanketSum += 2*W + 2*H
+			b.mTightSum += ML + MR + MBo + MAo
+
+			// i left of r: x_i + weff_i <= r.X + ML(z+p)
 			left := append([]lp.Term{{Var: b.X[i], Coef: 1},
-				{Var: zp, Coef: -W}, {Var: yp, Coef: -W}}, wti...)
+				{Var: zp, Coef: -ML}, {Var: yp, Coef: -ML}}, wti...)
 			p.AddConstraint(fmt.Sprintf("L.%s.ob%d", ni, o), left, lp.LE, r.X-wci)
 
-			// i right of r: r.X + r.W <= x_i + W(1+z-p)
-			right := []lp.Term{{Var: b.X[i], Coef: -1}, {Var: zp, Coef: -W}, {Var: yp, Coef: W}}
-			p.AddConstraint(fmt.Sprintf("R.%s.ob%d", ni, o), right, lp.LE, W-r.X2())
+			// i right of r: r.X + r.W <= x_i + MR(1+z-p)
+			right := []lp.Term{{Var: b.X[i], Coef: -1}, {Var: zp, Coef: -MR}, {Var: yp, Coef: MR}}
+			p.AddConstraint(fmt.Sprintf("R.%s.ob%d", ni, o), right, lp.LE, MR-r.X2())
 
-			// i below r: y_i + heff_i <= r.Y + H(1-z+p)
+			// i below r: y_i + heff_i <= r.Y + MBo(1-z+p)
 			below := append([]lp.Term{{Var: b.Y[i], Coef: 1},
-				{Var: zp, Coef: H}, {Var: yp, Coef: -H}}, hti...)
-			p.AddConstraint(fmt.Sprintf("B.%s.ob%d", ni, o), below, lp.LE, H+r.Y-hci)
+				{Var: zp, Coef: MBo}, {Var: yp, Coef: -MBo}}, hti...)
+			p.AddConstraint(fmt.Sprintf("B.%s.ob%d", ni, o), below, lp.LE, MBo+r.Y-hci)
 
-			// i above r: r.Y + r.H <= y_i + H(2-z-p)
-			above := []lp.Term{{Var: b.Y[i], Coef: -1}, {Var: zp, Coef: H}, {Var: yp, Coef: H}}
-			p.AddConstraint(fmt.Sprintf("A.%s.ob%d", ni, o), above, lp.LE, 2*H-r.Y2())
+			// i above r: r.Y + r.H <= y_i + MAo(2-z-p)
+			above := []lp.Term{{Var: b.Y[i], Coef: -1}, {Var: zp, Coef: MAo}, {Var: yp, Coef: MAo}}
+			p.AddConstraint(fmt.Sprintf("A.%s.ob%d", ni, o), above, lp.LE, 2*MAo-r.Y2())
 		}
 	}
 

@@ -57,6 +57,18 @@ func (b *Built) Decode(x []float64) []Placement {
 		case netlist.Flexible:
 			mw = weff - padW
 			mh = nm.Mod.Area / mw
+			// Under the Tangent linearization heffv underestimates the true
+			// module height away from the expansion point (the tangent lies
+			// below the hyperbola), so the exact height mh can poke out of
+			// the linearized envelope. Grow the envelope to the truth: the
+			// non-overlap guarantee applies to Env, and an Env that hides
+			// part of the module would make the decoded placement silently
+			// violate it. Verify then sees any resulting overlap, and the
+			// adjust step re-legalizes — exactly the paper's compensation
+			// for the tangent approximation.
+			if mh+padH > env.H {
+				env.H = mh + padH
+			}
 		default:
 			mw = weff - padW
 			mh = heffv - padH
@@ -84,6 +96,9 @@ func (b *Built) HeightOf(x []float64) float64 { return x[b.Height] }
 // caller must ensure the envelope boxes are pairwise non-overlapping and
 // clear of all obstacles.
 func (b *Built) Hint(envs []geom.Rect, rotated []bool, dw []float64) []float64 {
+	if len(b.symGroups) > 0 {
+		envs, rotated, dw = b.reorderForSymmetry(envs, rotated, dw)
+	}
 	x := make([]float64, b.Model.P.NumVariables())
 	top := b.floorY
 	for i := range b.Spec.New {
@@ -124,19 +139,73 @@ func (b *Built) Hint(envs []geom.Rect, rotated []bool, dw []float64) []float64 {
 	return x
 }
 
+// reorderForSymmetry reassigns the placements of each symmetry-pinned
+// group (see Built.Presolve) among the group's interchangeable modules so
+// that consecutive group members satisfy the pinned p = 0 relation. The
+// caller's slices are not modified.
+func (b *Built) reorderForSymmetry(envs []geom.Rect, rotated []bool, dw []float64) ([]geom.Rect, []bool, []float64) {
+	envs = append([]geom.Rect(nil), envs...)
+	rotated = append([]bool(nil), rotated...)
+	dw = append([]float64(nil), dw...)
+	for _, group := range b.symGroups {
+		// Order the group's boxes along a Hamiltonian path of the lobTol
+		// tournament by insertion: place each box before the first path
+		// element it "left-of-or-below"s, else append. Every earlier
+		// element then relates forward (tournament completeness), so
+		// consecutive path pairs always satisfy lobTol.
+		var path []int
+		for _, slot := range group {
+			pos := len(path)
+			for k, q := range path {
+				if lobTol(envs[slot], envs[q]) {
+					pos = k
+					break
+				}
+			}
+			path = append(path, 0)
+			copy(path[pos+1:], path[pos:])
+			path[pos] = slot
+		}
+		pe := make([]geom.Rect, len(group))
+		pr := make([]bool, len(group))
+		pd := make([]float64, len(group))
+		for t, slot := range path {
+			pe[t], pr[t], pd[t] = envs[slot], rotated[slot], dw[slot]
+		}
+		for t, slot := range group {
+			envs[slot], rotated[slot], dw[slot] = pe[t], pr[t], pd[t]
+		}
+	}
+	return envs, rotated, dw
+}
+
 // relationBits picks the (z, y) assignment of the disjunction (2) that is
 // satisfied by the mutual position of a and o: (0,0) a left of o, (0,1) a
 // right of o, (1,0) a below o, (1,1) a above o.
 func relationBits(a, o geom.Rect) (z, y float64) {
-	const eps = 1e-7
 	switch {
-	case a.X2() <= o.X+eps:
+	case a.X2() <= o.X+geom.Tol:
 		return 0, 0
-	case o.X2() <= a.X+eps:
+	case o.X2() <= a.X+geom.Tol:
 		return 0, 1
-	case a.Y2() <= o.Y+eps:
+	case a.Y2() <= o.Y+geom.Tol:
 		return 1, 0
 	default:
 		return 1, 1
 	}
+}
+
+// lobTol reports whether relationBits(a, o) would yield p = 0, i.e. "a
+// left of o, or else a below o". For two disjoint boxes at least one of
+// lobTol(a, o) and lobTol(o, a) holds (the relation is a tournament),
+// which is what lets Hint order interchangeable modules along a
+// Hamiltonian path so that symmetry-pinned pairs decode to p = 0.
+func lobTol(a, o geom.Rect) bool {
+	if a.X2() <= o.X+geom.Tol {
+		return true
+	}
+	if o.X2() <= a.X+geom.Tol {
+		return false
+	}
+	return a.Y2() <= o.Y+geom.Tol
 }

@@ -1,0 +1,288 @@
+package mipmodel
+
+import (
+	"math"
+
+	"afp/internal/geom"
+	"afp/internal/lp"
+)
+
+// PresolveStats summarizes what Built.Presolve changed on the model.
+type PresolveStats struct {
+	// FixedBinaries counts pair binaries pinned to a constant, either
+	// because the geometry forces the relation or for symmetry breaking.
+	FixedBinaries int
+	// TightenedBounds counts variable bounds improved by more than Tol.
+	TightenedBounds int
+	// MReduction is the fraction of big-M mass removed from the
+	// disjunctive rows relative to the blanket W/H formulation
+	// (0 when the model was built with Spec.BlanketM).
+	MReduction float64
+}
+
+// obstacleFloorLevels computes, per new module, a floor level yLo such
+// that every placement of the module that clears the obstacles and fits
+// the chip width satisfies y >= yLo.
+//
+// Derivation: a module of width w >= minw placed at x spans at least the
+// window (x, x+minw). An obstacle r overlapping that window in x cannot
+// be to the module's left or right, and if r.Y < minh the module cannot
+// fit below r either (it would need y + h <= r.Y with h >= minh and
+// y >= 0), so the module must rest above: y >= r.Y2(). The level of a
+// window is therefore the highest such blocking top, and yLo is the
+// minimum level over all feasible windows. The minimum over the
+// continuum of x positions is attained at a window whose left edge is 0
+// or some obstacle's right edge: sliding a window left to the nearest
+// such candidate only removes obstacles from it (an obstacle enters on
+// the left exactly when x crosses its right edge), so the level cannot
+// increase.
+func obstacleFloorLevels(spec *Spec, ds []dims) []float64 {
+	n := len(ds)
+	out := make([]float64, n)
+	if len(spec.Obstacles) == 0 {
+		return out
+	}
+	W := spec.ChipWidth
+	for i := 0; i < n; i++ {
+		minw := ds[i].minWidth()
+		minh := ds[i].minHeight()
+		best := math.Inf(1)
+		scan := func(x float64) {
+			if x+minw > W+geom.Tol {
+				return
+			}
+			level := 0.0
+			for _, r := range spec.Obstacles {
+				if r.X < x+minw-geom.Tol && x < r.X2()-geom.Tol && r.Y < minh-geom.Tol {
+					if t := r.Y2(); t > level {
+						level = t
+					}
+				}
+			}
+			if level < best {
+				best = level
+			}
+		}
+		scan(0)
+		for _, r := range spec.Obstacles {
+			scan(r.X2())
+		}
+		if math.IsInf(best, 1) {
+			best = 0
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Presolve tightens the built model in place: variable bounds are pulled
+// in against the fixed obstacles and the height cap, pair binaries whose
+// relation is geometrically forced are fixed, and the binaries of
+// interchangeable identical modules are pinned to break symmetry. Every
+// change is a valid cut — it preserves at least one optimal solution and
+// the optimal objective value exactly — so solving the presolved model
+// yields the same optimum as the original.
+//
+// Presolve mutates b.Model.P directly, which the branch-and-bound layer
+// reads its root bounds from; call it once, after Build and before
+// solving. Hints constructed by b.Hint after Presolve automatically
+// respect the symmetry pinning (the members of each pinned group are
+// reordered to match).
+func (b *Built) Presolve() PresolveStats {
+	var st PresolveStats
+	p := b.Model.P
+	spec := b.Spec
+	W := spec.ChipWidth
+	H := b.bigH
+
+	tightenLo := func(v lp.VarID, lo float64) {
+		curLo, curHi := p.Bounds(v)
+		if lo <= curLo+geom.Tol {
+			return
+		}
+		if lo > curHi {
+			// The instance is infeasible; apply the weaker (still valid)
+			// cut and let the LP discover the infeasibility.
+			lo = curHi
+		}
+		p.SetBounds(v, lo, curHi)
+		st.TightenedBounds++
+	}
+	tightenHi := func(v lp.VarID, hi float64) {
+		curLo, curHi := p.Bounds(v)
+		if hi >= curHi-geom.Tol {
+			return
+		}
+		if hi < curLo {
+			hi = curLo
+		}
+		p.SetBounds(v, curLo, hi)
+		st.TightenedBounds++
+	}
+	fixBin := func(v lp.VarID, val float64) {
+		lo, hi := p.Bounds(v)
+		if lo > val+0.5 || hi < val-0.5 {
+			// An earlier (also valid) fixing disagrees: the instance has no
+			// integer-feasible point. Keep the earlier fixing.
+			return
+		}
+		if lo == hi {
+			return
+		}
+		p.SetBounds(v, val, val)
+		st.FixedBinaries++
+	}
+
+	// Bound tightening against obstacles and the height cap: module i
+	// rests at or above its obstacle floor level, and its top must stay
+	// below the bounding height.
+	heightLo := b.floorY
+	for i := range spec.New {
+		minh := b.ds[i].minHeight()
+		tightenLo(b.Y[i], b.yLo[i])
+		tightenHi(b.Y[i], H-minh)
+		if t := b.yLo[i] + minh; t > heightLo {
+			heightLo = t
+		}
+	}
+	tightenLo(b.Height, heightLo)
+
+	// Geometrically forced pair binaries.
+	for _, pr := range b.pairs {
+		mwi := b.ds[pr.i].minWidth()
+		mhi := b.ds[pr.i].minHeight()
+		if pr.kind == pairNewNew {
+			// Two modules whose minimum widths exceed W together can never
+			// be left/right of each other (x spans within [0, W] cannot be
+			// disjoint), so the disjunction collapses to below/above (z=1).
+			// Symmetrically for heights against the cap H (z=0).
+			if mwi+b.ds[pr.j].minWidth() > W+geom.Tol {
+				fixBin(pr.z, 1)
+			}
+			if mhi+b.ds[pr.j].minHeight() > H+geom.Tol {
+				fixBin(pr.z, 0)
+			}
+			continue
+		}
+		r := spec.Obstacles[pr.j]
+		canL := r.X >= mwi-geom.Tol
+		canR := W-r.X2() >= mwi-geom.Tol
+		canB := r.Y >= mhi-geom.Tol
+		canA := H-r.Y2() >= mhi-geom.Tol
+		nOpts := 0
+		for _, ok := range []bool{canL, canR, canB, canA} {
+			if ok {
+				nOpts++
+			}
+		}
+		if nOpts == 0 {
+			continue // infeasible instance; leave it to the solver
+		}
+		// z selects horizontal (0) vs vertical (1), p the side:
+		// L=(0,0), R=(0,1), B=(1,0), A=(1,1).
+		if !canL && !canR {
+			fixBin(pr.z, 1)
+		}
+		if !canB && !canA {
+			fixBin(pr.z, 0)
+		}
+		if !canL && !canB {
+			fixBin(pr.y, 1)
+		}
+		if !canR && !canA {
+			fixBin(pr.y, 0)
+		}
+		if nOpts == 1 {
+			// A single surviving relation also tightens the coordinate
+			// bounds directly.
+			switch {
+			case canL:
+				tightenHi(b.X[pr.i], r.X-mwi)
+			case canR:
+				tightenLo(b.X[pr.i], r.X2())
+			case canB:
+				tightenHi(b.Y[pr.i], r.Y-mhi)
+			case canA:
+				tightenLo(b.Y[pr.i], r.Y2())
+			}
+		}
+	}
+
+	b.pinSymmetry(fixBin)
+
+	if b.mBlanketSum > 0 {
+		st.MReduction = 1 - b.mTightSum/b.mBlanketSum
+	}
+	return st
+}
+
+// pinSymmetry detects groups of interchangeable modules and pins the p
+// binary of each consecutive group pair to 0, forcing "left of or below".
+//
+// Two modules are interchangeable when they have identical dimension
+// models, areas and paddings, the objective is AreaOnly (gravity weights
+// are uniform, and there are no per-module wire terms), and neither is
+// referenced by a critical-net constraint; swapping their placements then
+// maps feasible solutions to feasible solutions of equal objective. For
+// any set of pairwise disjoint boxes, "a left of b, or else (b not left
+// of a and a below b)" is a tournament relation, and every tournament has
+// a Hamiltonian path, so some assignment of the group's modules to its
+// boxes satisfies the pinning on consecutive pairs — the optimum is
+// preserved. (Pinning all pairs of the group would need transitivity,
+// which tournaments do not provide, so only consecutive pairs are
+// pinned.) Hint applies the same path ordering, via lobTol, to keep
+// geometric warm starts feasible.
+func (b *Built) pinSymmetry(fixBin func(lp.VarID, float64)) {
+	spec := b.Spec
+	if spec.Objective != AreaOnly {
+		return
+	}
+	critical := map[int]bool{}
+	for _, cp := range spec.Critical {
+		critical[cp.A] = true
+		critical[cp.B] = true
+	}
+	type key struct {
+		d          dims
+		area       float64
+		padW, padH float64
+	}
+	keyOf := func(i int) key {
+		nm := &spec.New[i]
+		return key{d: b.ds[i], area: nm.Mod.ModuleArea(), padW: nm.PadW, padH: nm.PadH}
+	}
+	pairAt := map[[2]int]*pair{}
+	for k := range b.pairs {
+		pr := &b.pairs[k]
+		if pr.kind == pairNewNew {
+			pairAt[[2]int{pr.i, pr.j}] = pr
+		}
+	}
+	n := len(spec.New)
+	grouped := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if grouped[i] || critical[spec.New[i].Index] {
+			continue
+		}
+		group := []int{i}
+		ki := keyOf(i)
+		for j := i + 1; j < n; j++ {
+			if grouped[j] || critical[spec.New[j].Index] {
+				continue
+			}
+			if keyOf(j) == ki {
+				group = append(group, j)
+				grouped[j] = true
+			}
+		}
+		if len(group) < 2 {
+			continue
+		}
+		for t := 0; t+1 < len(group); t++ {
+			if pr := pairAt[[2]int{group[t], group[t+1]}]; pr != nil {
+				fixBin(pr.y, 0)
+			}
+		}
+		b.symGroups = append(b.symGroups, group)
+	}
+}

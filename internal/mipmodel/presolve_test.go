@@ -1,0 +1,326 @@
+package mipmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"afp/internal/geom"
+	"afp/internal/milp"
+	"afp/internal/netlist"
+)
+
+// Regression for the Tangent decode gap: the tangent linearization lies
+// below the h = S/w hyperbola, so the model's envelope height can be
+// smaller than the exact module height computed by Decode. The decoded
+// envelope must grow to contain the module, never hide part of it.
+func TestTangentDecodeClampsEnvelope(t *testing.T) {
+	fl := flexible("f", 8, 0.5, 2) // w in [2, 4]
+	spec := &Spec{
+		ChipWidth: 3, // forces dw >= 1, away from the expansion point
+		Linearize: Tangent,
+		New:       []NewModule{{Index: 0, Mod: &fl}},
+	}
+	b, res := solveSpec(t, spec)
+	pls := b.Decode(res.X)
+	p := pls[0]
+	if math.Abs(p.Mod.W-3) > 1e-6 {
+		t.Fatalf("module width = %v, want 3 (chip-limited)", p.Mod.W)
+	}
+	wantH := 8.0 / 3.0
+	if math.Abs(p.Mod.H-wantH) > 1e-6 {
+		t.Fatalf("module height = %v, want %v (exact area)", p.Mod.H, wantH)
+	}
+	// The linearized model believes height 2 + 0.5*1 = 2.5; the decode must
+	// not trust it.
+	if h := b.HeightOf(res.X); math.Abs(h-2.5) > 1e-6 {
+		t.Fatalf("model height = %v, want 2.5 (tangent underestimate)", h)
+	}
+	if p.Env.H < wantH-1e-9 {
+		t.Fatalf("envelope height %v below exact module height %v", p.Env.H, wantH)
+	}
+	if !p.Env.ContainsRect(p.Mod) {
+		t.Fatalf("module %v pokes out of its envelope %v", p.Mod, p.Env)
+	}
+}
+
+func TestObstacleFloorLevels(t *testing.T) {
+	// Obstacle fills the left half up to height 4 on a width-6 chip. A 3x3
+	// module still has the window right of it (floor level 0); a 4x3 module
+	// does not fit in any window clear of the obstacle and must rest on top.
+	small := rigid("s", 3, 3, false)
+	wide := rigid("w", 4, 3, false)
+	spec := &Spec{
+		ChipWidth: 6,
+		Obstacles: []geom.Rect{geom.NewRect(0, 0, 3, 4)},
+		New:       []NewModule{{Index: 0, Mod: &small}, {Index: 1, Mod: &wide}},
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.yLo[0] != 0 {
+		t.Fatalf("yLo[small] = %v, want 0 (fits beside the obstacle)", b.yLo[0])
+	}
+	if b.yLo[1] != 4 {
+		t.Fatalf("yLo[wide] = %v, want 4 (must rest on the obstacle)", b.yLo[1])
+	}
+	// A module taller than the obstacle is tall, not blocked: an obstacle
+	// with r.Y >= minh leaves room below it.
+	tall := rigid("t", 3, 3, false)
+	spec2 := &Spec{
+		ChipWidth: 6,
+		Obstacles: []geom.Rect{geom.NewRect(0, 3, 6, 2)}, // shelf at height 3
+		New:       []NewModule{{Index: 0, Mod: &tall}},
+	}
+	b2, err := Build(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.yLo[0] != 0 {
+		t.Fatalf("yLo[tall] = %v, want 0 (fits under the shelf)", b2.yLo[0])
+	}
+}
+
+func TestPresolveObstacleForcing(t *testing.T) {
+	// A full-width obstacle of height 2: a 3x3 module can only go above it,
+	// so presolve must fix both pair binaries and pin y to the obstacle top.
+	m := rigid("a", 3, 3, false)
+	spec := &Spec{
+		ChipWidth: 6,
+		Obstacles: []geom.Rect{geom.NewRect(0, 0, 6, 2)},
+		New:       []NewModule{{Index: 0, Mod: &m}},
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Presolve()
+	if st.FixedBinaries != 2 {
+		t.Fatalf("FixedBinaries = %d, want 2 (z and p of the only pair)", st.FixedBinaries)
+	}
+	if st.TightenedBounds < 2 {
+		t.Fatalf("TightenedBounds = %d, want >= 2", st.TightenedBounds)
+	}
+	if st.MReduction <= 0 {
+		t.Fatalf("MReduction = %v, want > 0", st.MReduction)
+	}
+	if lo, hi := b.Model.P.Bounds(b.Y[0]); lo != 2 || hi != 2 {
+		t.Fatalf("y bounds = [%v, %v], want [2, 2] (forced above the obstacle)", lo, hi)
+	}
+	if lo, _ := b.Model.P.Bounds(b.Height); lo != 5 {
+		t.Fatalf("height lower bound = %v, want 5", lo)
+	}
+	res := milp.Solve(b.Model, milp.Options{Workers: 1})
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if h := b.HeightOf(res.X); math.Abs(h-5) > 1e-6 {
+		t.Fatalf("height = %v, want 5", h)
+	}
+	checkNoOverlap(t, b.Decode(res.X), spec.Obstacles)
+}
+
+func TestPresolveSymmetryPinsIdenticalModules(t *testing.T) {
+	mods := []netlist.Module{
+		rigid("a", 2, 2, false), rigid("b", 2, 2, false), rigid("c", 2, 2, false),
+	}
+	spec := &Spec{ChipWidth: 6}
+	for i := range mods {
+		spec.New = append(spec.New, NewModule{Index: i, Mod: &mods[i]})
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Presolve()
+	if len(b.symGroups) != 1 || len(b.symGroups[0]) != 3 {
+		t.Fatalf("symGroups = %v, want one group of 3", b.symGroups)
+	}
+	if st.FixedBinaries != 2 {
+		t.Fatalf("FixedBinaries = %d, want 2 (two consecutive pair pins)", st.FixedBinaries)
+	}
+
+	// A hint placing the identical modules in scrambled order must still be
+	// feasible: Hint reorders the group along the left-of-or-below path so
+	// the pinned p = 0 binaries decode consistently.
+	envs := []geom.Rect{
+		geom.NewRect(4, 0, 2, 2),
+		geom.NewRect(0, 0, 2, 2),
+		geom.NewRect(2, 0, 2, 2),
+	}
+	hint := b.Hint(envs, make([]bool, 3), make([]float64, 3))
+	if infeas := b.Model.P.Infeasibilities(hint, geom.Tol); infeas != nil {
+		t.Fatalf("scrambled hint infeasible after symmetry pinning:\n%v", infeas)
+	}
+	res := milp.Solve(b.Model, milp.Options{Workers: 1, Incumbent: hint})
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if h := b.HeightOf(res.X); math.Abs(h-2) > 1e-6 {
+		t.Fatalf("height = %v, want 2 (three in a row)", h)
+	}
+	checkNoOverlap(t, b.Decode(res.X), nil)
+}
+
+// randomSpec builds a random small subproblem (rigid, rotatable and
+// flexible modules, optional staircase obstacles, optional envelope
+// padding) shared by the hint-feasibility and equivalence properties.
+func randomSpec(rng *rand.Rand, nNew int) (*Spec, []netlist.Module) {
+	mods := make([]netlist.Module, 0, nNew)
+	for i := 0; i < nNew; i++ {
+		if rng.Intn(3) == 0 {
+			mods = append(mods, netlist.Module{
+				Name: fmt.Sprintf("f%d", i), Kind: netlist.Flexible,
+				Area:      4 + float64(rng.Intn(20)),
+				MinAspect: 0.4, MaxAspect: 2.5,
+			})
+		} else {
+			mods = append(mods, netlist.Module{
+				Name: fmt.Sprintf("r%d", i), Kind: netlist.Rigid,
+				W: 1 + float64(rng.Intn(5)), H: 1 + float64(rng.Intn(5)),
+				Rotatable: rng.Intn(2) == 0,
+			})
+		}
+	}
+	spec := &Spec{ChipWidth: 12 + float64(rng.Intn(6))}
+	for i := range mods {
+		spec.New = append(spec.New, NewModule{
+			Index: i, Mod: &mods[i],
+			PadW: float64(rng.Intn(2)), PadH: float64(rng.Intn(2)),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		x := 0.0
+		for x < spec.ChipWidth-2 && rng.Intn(3) != 0 {
+			w := 2 + float64(rng.Intn(4))
+			if x+w > spec.ChipWidth {
+				break
+			}
+			spec.Obstacles = append(spec.Obstacles,
+				geom.NewRect(x, 0, w, 1+float64(rng.Intn(4))))
+			x += w
+		}
+	}
+	return spec, mods
+}
+
+// Property: Built.Hint always produces a point satisfying every row and
+// bound of the model, including placements with exactly-touching
+// envelopes, both on the fresh model and after Presolve.
+func TestHintFeasibilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		nNew := 2 + rng.Intn(3)
+		spec, _ := randomSpec(rng, nNew)
+		// Random placements can stack high; give the model explicit
+		// headroom so the hint respects the Y and Height bounds.
+		spec.MaxHeight = 200
+		b, err := Build(spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Shelf-pack the modules in random configurations, each envelope
+		// exactly touching its left neighbor and the shelf below — the
+		// boundary case for the big-M rows and relationBits.
+		floorY := 0.0
+		for _, r := range spec.Obstacles {
+			if t2 := r.Y2(); t2 > floorY {
+				floorY = t2
+			}
+		}
+		envs := make([]geom.Rect, nNew)
+		rotated := make([]bool, nNew)
+		dw := make([]float64, nNew)
+		x, y, rowH := 0.0, floorY, 0.0
+		for i := 0; i < nNew; i++ {
+			d := b.ds[i]
+			if d.rotatable {
+				rotated[i] = rng.Intn(2) == 0
+			}
+			if d.flexible {
+				switch rng.Intn(3) {
+				case 0:
+					dw[i] = 0
+				case 1:
+					dw[i] = d.dwMax
+				default:
+					dw[i] = rng.Float64() * d.dwMax
+				}
+			}
+			weff := d.wConst - dw[i]
+			heffv := d.hConst + d.hSlope*dw[i]
+			if rotated[i] {
+				weff += d.wRot
+				heffv += d.hRot
+			}
+			if x+weff > spec.ChipWidth {
+				x, y, rowH = 0, y+rowH, 0
+			}
+			envs[i] = geom.NewRect(x, y, weff, heffv)
+			x += weff
+			if heffv > rowH {
+				rowH = heffv
+			}
+		}
+
+		hint := b.Hint(envs, rotated, dw)
+		if infeas := b.Model.P.Infeasibilities(hint, geom.Tol); infeas != nil {
+			t.Fatalf("trial %d: hint infeasible on fresh model:\n%v", trial, infeas)
+		}
+		b.Presolve()
+		hint2 := b.Hint(envs, rotated, dw)
+		if infeas := b.Model.P.Infeasibilities(hint2, geom.Tol); infeas != nil {
+			t.Fatalf("trial %d: hint infeasible after presolve:\n%v", trial, infeas)
+		}
+	}
+}
+
+// Property: the tightened formulation plus presolve proves the same
+// optimum as the textbook blanket big-M formulation. Secant only: under
+// Tangent the area cut is valid only for the tightened model's envelope
+// accounting, so the two formulations are not comparable there.
+func TestEquivalenceTightenedVsBlanket(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nNew := 2 + rng.Intn(2)
+		spec, mods := randomSpec(rng, nNew)
+
+		blanket := *spec
+		blanket.BlanketM = true
+		blanket.New = nil
+		for i := range mods {
+			blanket.New = append(blanket.New, NewModule{
+				Index: i, Mod: &mods[i],
+				PadW: spec.New[i].PadW, PadH: spec.New[i].PadH,
+			})
+		}
+
+		bt, err := Build(spec)
+		if err != nil {
+			t.Fatalf("trial %d: tightened: %v", trial, err)
+		}
+		bt.Presolve()
+		bb, err := Build(&blanket)
+		if err != nil {
+			t.Fatalf("trial %d: blanket: %v", trial, err)
+		}
+
+		rt := milp.Solve(bt.Model, milp.Options{MaxNodes: 50000, Workers: 1, Presolve: true})
+		rb := milp.Solve(bb.Model, milp.Options{MaxNodes: 50000, Workers: 1})
+		if rt.Status != milp.StatusOptimal || rb.Status != milp.StatusOptimal {
+			t.Fatalf("trial %d: status tightened %v, blanket %v", trial, rt.Status, rb.Status)
+		}
+		if math.Abs(rt.Objective-rb.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective %v (tightened) vs %v (blanket)",
+				trial, rt.Objective, rb.Objective)
+		}
+		if math.Abs(bt.HeightOf(rt.X)-bb.HeightOf(rb.X)) > 1e-6 {
+			t.Fatalf("trial %d: height %v (tightened) vs %v (blanket)",
+				trial, bt.HeightOf(rt.X), bb.HeightOf(rb.X))
+		}
+		checkNoOverlap(t, bt.Decode(rt.X), spec.Obstacles)
+	}
+}

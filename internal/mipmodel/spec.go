@@ -13,6 +13,8 @@ package mipmodel
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"afp/internal/geom"
 	"afp/internal/netlist"
@@ -131,6 +133,13 @@ type Spec struct {
 	// subproblem are ignored; pairs between a new module and an absorbed
 	// placed module require a matching Anchors entry.
 	Critical []CriticalPair
+	// BlanketM reverts the disjunctive constraints to the textbook blanket
+	// big-M coefficients (W and the summed-height H on every row, bare
+	// module areas in the area cut). The default is the per-row tightened
+	// coefficients of DESIGN.md section 10, which admit exactly the same
+	// integer-feasible set and therefore the same optimum; BlanketM exists
+	// as an escape hatch and for equivalence testing.
+	BlanketM bool
 }
 
 // dims captures the linear expression of one placeable object's effective
@@ -228,6 +237,133 @@ func (d dims) maxHeight() float64 {
 		h += d.hSlope * d.dwMax
 	}
 	return h
+}
+
+// minEnvArea returns the smallest envelope area (weff*heff) the object
+// can reserve over all of its configurations. The area is linear in the
+// rotation binary (two candidates) and concave in dw (the product of a
+// decreasing and an increasing linear function), so the minimum is
+// attained at a configuration corner.
+func (d dims) minEnvArea() float64 {
+	a := d.wConst * d.hConst
+	if d.rotatable {
+		if r := (d.wConst + d.wRot) * (d.hConst + d.hRot); r < a {
+			a = r
+		}
+	}
+	if d.flexible {
+		if r := (d.wConst - d.dwMax) * (d.hConst + d.hSlope*d.dwMax); r < a {
+			a = r
+		}
+	}
+	return a
+}
+
+// minHeight returns the smallest effective height the object can take in
+// any configuration (ignoring the chip width). Every integer-feasible
+// point of the model satisfies heff >= minHeight, which makes it a sound
+// constant for big-M derivations and obstacle-window reasoning.
+func (d dims) minHeight() float64 {
+	h := d.hConst
+	if d.rotatable && d.hRot < 0 {
+		h += d.hRot
+	}
+	return h
+}
+
+// minHeightFitting returns the smallest effective height among the
+// configurations whose effective width fits the chip width W, together
+// with that configuration's effective width. It is the height the object
+// contributes to the stacked-skyline bound of DESIGN.md section 10. When
+// no configuration fits (rejected by Build's fit check) it falls back to
+// the unrestricted minimum.
+func (d dims) minHeightFitting(W float64) (h, w float64) {
+	best := false
+	consider := func(hc, wc float64) {
+		if wc <= W+geom.Tol && (!best || hc < h) {
+			h, w, best = hc, wc, true
+		}
+	}
+	if d.flexible {
+		// heff = hConst + hSlope*dw grows with dw, so take the smallest dw
+		// that makes the width fit.
+		dw := d.wConst - W
+		if dw < 0 {
+			dw = 0
+		}
+		if dw > d.dwMax {
+			dw = d.dwMax
+		}
+		consider(d.hConst+d.hSlope*dw, d.wConst-dw)
+	} else {
+		consider(d.hConst, d.wConst)
+		if d.rotatable {
+			consider(d.hConst+d.hRot, d.wConst+d.wRot)
+		}
+	}
+	if !best {
+		return d.minHeight(), d.minWidth()
+	}
+	return h, w
+}
+
+// stackBound returns the objective value of the explicit feasible
+// solution that stacks every module at x = 0 above the obstacle skyline,
+// each in its lowest chip-fitting configuration, shortest first. The
+// optimum cannot exceed it, and every objective term dominates the chip
+// height from above (all terms are nonnegative and Height has unit
+// cost), so any solution at least as good as the stack keeps all y
+// coordinates below this value. That makes it a valid bounding function
+// H for the disjunctions (2) that preserves the optimum exactly — and it
+// is typically far below defaultMaxHeight's sum of all heights.
+// Critical-net constraints can make the stack infeasible, so the bound
+// abstains (+Inf) when any are present.
+func (s *Spec) stackBound(ds []dims, floorY, gy float64) float64 {
+	if len(s.Critical) > 0 {
+		return math.Inf(1)
+	}
+	n := len(ds)
+	type cfg struct{ h, w float64 }
+	cfgs := make([]cfg, n)
+	order := make([]int, n)
+	for i, d := range ds {
+		h, w := d.minHeightFitting(s.ChipWidth)
+		cfgs[i] = cfg{h: h, w: w}
+		order[i] = i
+	}
+	// Shortest first minimizes the gravity term's sum of y coordinates.
+	sort.Slice(order, func(a, b int) bool { return cfgs[order[a]].h < cfgs[order[b]].h })
+	y := make([]float64, n)
+	top := floorY
+	var sumY float64
+	for _, i := range order {
+		y[i] = top
+		sumY += top
+		top += cfgs[i].h
+	}
+	obj := top + gy*sumY
+	if s.Objective == AreaWire && s.Conn != nil {
+		lambda := s.WireWeight
+		if lambda <= 0 {
+			lambda = 0.05
+		}
+		cx := func(i int) float64 { return cfgs[i].w / 2 }
+		cy := func(i int) float64 { return y[i] + cfgs[i].h/2 }
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if c := s.Conn(s.New[a].Index, s.New[b].Index); c > 0 {
+					obj += lambda * c * (math.Abs(cx(a)-cx(b)) + math.Abs(cy(a)-cy(b)))
+				}
+			}
+			for k := range s.Anchors {
+				if c := s.Conn(s.New[a].Index, s.Anchors[k].Index); c > 0 {
+					an := s.Anchors[k]
+					obj += lambda * c * (math.Abs(cx(a)-an.X) + math.Abs(cy(a)-an.Y))
+				}
+			}
+		}
+	}
+	return obj
 }
 
 // defaultMaxHeight computes a safe bounding function H for the

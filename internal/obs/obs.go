@@ -67,6 +67,11 @@ const (
 	// KindAnnealTemp reports per-move acceptance statistics for one
 	// temperature of the simulated-annealing baseline.
 	KindAnnealTemp Kind = "anneal.temp"
+	// KindPresolve summarizes one presolve pass: fixed binaries, tightened
+	// bounds and (for the formulation-level pass) the big-M reduction.
+	// Detail distinguishes the pass ("model" for mipmodel's geometric
+	// presolve, "propagate" for milp's bound propagation).
+	KindPresolve Kind = "presolve.done"
 )
 
 // Event is one structured telemetry record. The struct is flat and
@@ -133,6 +138,14 @@ type Event struct {
 	// Accepted / Attempted are per-temperature annealing move counts.
 	Accepted  int `json:"accepted,omitempty"`
 	Attempted int `json:"attempted,omitempty"`
+
+	// Fixed counts integer variables fixed by a presolve pass.
+	Fixed int `json:"fixed,omitempty"`
+	// Tightened counts variable bounds tightened by a presolve pass.
+	Tightened int `json:"tightened,omitempty"`
+	// MReduction is the fraction of disjunctive big-M mass removed by the
+	// tightened formulation relative to the blanket one.
+	MReduction float64 `json:"m_reduction,omitempty"`
 
 	// Worker is the 1-based branch-and-bound worker id that produced a
 	// node.* event; 0 (omitted) for the serial search.
@@ -351,6 +364,9 @@ func (s *LogSink) Emit(e Event) {
 	case KindAnnealTemp:
 		fmt.Fprintf(s.w, "[%8.3fs] anneal T=%.4g: %d/%d accepted, cost %.4g, best %.4g\n",
 			sec(e.T), e.Temp, e.Accepted, e.Attempted, e.Obj, e.Bound)
+	case KindPresolve:
+		fmt.Fprintf(s.w, "[%8.3fs] presolve (%s): %d binaries fixed, %d bounds tightened, big-M -%.0f%%\n",
+			sec(e.T), e.Detail, e.Fixed, e.Tightened, 100*e.MReduction)
 	default:
 		fmt.Fprintf(s.w, "[%8.3fs] %s %+v\n", sec(e.T), e.Kind, e)
 	}

@@ -67,6 +67,12 @@ type SolveOptions struct {
 	// the problem, and is excluded from the cache key — any worker count
 	// proves the same optimum.
 	Workers int `json:"workers,omitempty"`
+	// NoPresolve disables the model presolve (tightened big-M coefficients,
+	// forced-binary fixing, bound propagation) for this job. Presolve never
+	// changes the optimum — it only prunes the search — so, like TimeoutMS
+	// and Workers, the knob is an execution detail excluded from the cache
+	// key.
+	NoPresolve bool `json:"noPresolve,omitempty"`
 }
 
 // DesignSpec is the inline JSON form of a netlist.Design.
@@ -291,6 +297,7 @@ func (in *Instance) coreConfig() core.Config {
 		GroupSize:    in.Opts.GroupSize,
 		WireWeight:   in.Opts.WireWeight,
 		PostOptimize: in.Opts.PostOptimize,
+		NoPresolve:   in.Opts.NoPresolve,
 	}
 	if in.Opts.Objective == "areawire" {
 		cfg.Objective = mipmodel.AreaWire

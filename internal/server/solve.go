@@ -38,6 +38,10 @@ type ResultPayload struct {
 	ElapsedMS  int64           `json:"elapsedMs"`
 	Placements []PlacementView `json:"placements"`
 	Steps      []StepView      `json:"steps,omitempty"`
+	// Violations lists legality defects found by the always-on post-solve
+	// verification of complete results (empty for a legal floorplan). A
+	// result with violations is reported but never cached.
+	Violations []string `json:"violations,omitempty"`
 }
 
 // PlacementView is one placed module, envelope and module proper.
@@ -99,9 +103,22 @@ func (s *Server) runJob(j *Job) {
 	payload := buildPayload(j.Instance, res, dur)
 	switch {
 	case err == nil:
+		// Always verify a complete floorplan before publishing it. A result
+		// with violations is still returned to the client — the violations
+		// travel with it — but it must never enter the cache, where it would
+		// be served as authoritative to every later equivalent request.
+		if payload != nil && res != nil && len(res.Placements) == len(j.Instance.Design.Modules) {
+			for _, v := range res.Verify() {
+				payload.Violations = append(payload.Violations, v.String())
+			}
+		}
 		j.finish(StateDone, payload, false, "")
 		s.metrics.Count("jobs_done", 1)
-		s.cache.put(j.Key, payload)
+		if payload == nil || len(payload.Violations) == 0 {
+			s.cache.put(j.Key, payload)
+		} else {
+			s.metrics.Count("jobs_invalid", 1)
+		}
 	case errors.Is(err, context.Canceled):
 		// Explicit cancellation (DELETE, or server shutdown): keep the
 		// partial incumbent available but report the job cancelled.
