@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci vet race bench benchall benchcmp serve e2e clean
+.PHONY: all build test ci vet lint cover race bench benchall benchcmp serve e2e clean
 
 all: build
 
@@ -10,8 +10,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project's custom analyzers (ctxsolve, toleq, obsevent,
+# locked — see DESIGN.md section 11) over the whole repository. Any
+# finding fails the target.
+lint:
+	$(GO) run ./cmd/floorplanvet ./...
+
 test:
 	$(GO) test ./...
+
+# cover prints a per-package coverage summary and enforces a 70% floor on
+# the static-analysis and model-builder packages, whose correctness the
+# rest of the gate leans on.
+cover:
+	$(GO) test -cover ./internal/... | tee cover.out
+	@awk '/^ok/ && ($$2 == "afp/internal/analysis" || $$2 == "afp/internal/mipmodel") { \
+		for (i = 1; i <= NF; i++) if ($$i ~ /^[0-9.]+%$$/) { pct = substr($$i, 1, length($$i)-1) + 0; \
+			if (pct < 70) { printf "cover: %s at %s%% is under the 70%% floor\n", $$2, pct; bad = 1 } \
+			else printf "cover: %s at %s%% meets the 70%% floor\n", $$2, pct } } \
+		END { exit bad }' cover.out
+	@rm -f cover.out
 
 # race runs the race detector over the packages with concurrency-sensitive
 # instrumentation and concurrency proper: the observability sinks, the
@@ -20,9 +38,10 @@ test:
 race:
 	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp ./internal/mipmodel ./internal/server ./internal/core
 
-# ci is the gate run before merging: static checks, a full build, and the
-# race-instrumented solver tests.
-ci: vet build race
+# ci is the gate run before merging: static checks (go vet plus the
+# custom analyzer suite), a full build, and the race-instrumented solver
+# tests.
+ci: vet lint build race
 
 # serve runs the HTTP solve service locally (see DESIGN.md section 8).
 serve:

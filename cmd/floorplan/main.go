@@ -74,8 +74,20 @@ func run() error {
 		timeout   = flag.Duration("timeout", 0, "overall solve deadline (0 = none); the partial floorplan is still reported")
 		presolve  = flag.Bool("presolve", true, "tighten big-M coefficients and fix forced binaries before branch-and-bound")
 		verify    = flag.Bool("verify", false, "check the final floorplan for legality and exit non-zero on violations")
+		audit     = flag.Bool("audit", false, "statically audit every step's MILP before solving (defaults to the -verify setting)")
 	)
 	flag.Parse()
+	// -audit follows -verify unless set explicitly: verified runs get the
+	// model-level checks for free, and either can still be toggled alone.
+	auditSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "audit" {
+			auditSet = true
+		}
+	})
+	if !auditSet {
+		*audit = *verify
+	}
 
 	// -timeout and Ctrl-C both cancel through the context, down to the
 	// simplex pivot loop; the floorplan built so far is still printed.
@@ -141,6 +153,7 @@ func run() error {
 		Envelopes:    *envelopes,
 		PostOptimize: *post,
 		NoPresolve:   !*presolve,
+		Audit:        *audit,
 		MILP:         milp.Options{MaxNodes: *nodes, TimeLimit: *stepTime},
 		Workers:      *workers,
 		SweepWorkers: *sweepWork,

@@ -1,0 +1,73 @@
+// Command floorplanvet runs the project's custom static analyzers over
+// the repository — the offline stand-in for a go/analysis multichecker.
+// It loads the named packages (default ./...) with full type
+// information, applies every analyzer, prints one line per finding and
+// exits non-zero when any finding survives its //vet:allow
+// suppressions. See DESIGN.md section 11 for the rules enforced.
+//
+// Usage:
+//
+//	floorplanvet [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"afp/internal/analysis"
+	"afp/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: floorplanvet [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floorplanvet:", err)
+		return 2
+	}
+	broken := false
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "floorplanvet: %s: %v\n", p.Path, te)
+			broken = true
+		}
+	}
+	if broken {
+		return 2
+	}
+
+	analyzers := []*analysis.Analyzer{
+		analysis.CtxSolve,
+		analysis.TolEq,
+		analysis.NewObsEvent(obs.Schema),
+		analysis.Locked,
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floorplanvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "floorplanvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

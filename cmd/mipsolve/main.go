@@ -36,6 +36,7 @@ import (
 
 	"afp/internal/lp"
 	"afp/internal/milp"
+	"afp/internal/mipmodel/modelcheck"
 	"afp/internal/obs"
 )
 
@@ -56,6 +57,7 @@ func run() error {
 		traceOut  = flag.String("trace", "", "write a JSONL event trace (lp.solve, node.*) to this file")
 		verbose   = flag.Bool("verbose", false, "log branch-and-bound progress to stderr")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		audit     = flag.Bool("audit", false, "statically audit the model (dangling variables, non-finite data) before solving; findings abort the solve")
 	)
 	flag.Parse()
 
@@ -102,6 +104,16 @@ func run() error {
 	m, names, err := parseModel(r)
 	if err != nil {
 		return err
+	}
+	if *audit {
+		findings := modelcheck.AuditModel(m)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "mipsolve: audit:", f)
+		}
+		if len(findings) > 0 {
+			return fmt.Errorf("audit: %d finding(s)", len(findings))
+		}
+		fmt.Fprintln(os.Stderr, "mipsolve: audit: model is clean")
 	}
 
 	// The deadline and Ctrl-C both flow through the context, enforced

@@ -217,6 +217,48 @@ func TestE2EFloorplandSolveAndTrace(t *testing.T) {
 	}
 }
 
+func TestE2EFloorplandMalformedModelRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e in -short mode")
+	}
+	base, _ := startFloorpland(t, "-workers", "1")
+
+	// A module wider than the chip is well-formed JSON and a valid design,
+	// but its MILP cannot be built: the pre-dispatch model audit must
+	// reject it with 422 before any solver time is spent.
+	var errResp map[string]any
+	code := httpJSON(t, "POST", base+"/v1/solve",
+		`{"design":{"modules":[{"name":"a","w":8,"h":4}]},"options":{"chipWidth":4}}`, &errResp)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("malformed submit status %d, want 422: %v", code, errResp)
+	}
+	msg, _ := errResp["error"].(string)
+	if !strings.Contains(msg, "model audit") || !strings.Contains(msg, "cannot fit chip width") {
+		t.Fatalf("422 body does not name the audit failure: %q", msg)
+	}
+
+	var metrics map[string]float64
+	httpJSON(t, "GET", base+"/metrics", "", &metrics)
+	if metrics["jobs_malformed"] != 1 {
+		t.Fatalf("metrics jobs_malformed = %v, want 1", metrics["jobs_malformed"])
+	}
+	if metrics["jobs_submitted"] != 0 {
+		t.Fatalf("malformed job was counted as submitted: %v", metrics["jobs_submitted"])
+	}
+
+	// The same design with a workable chip width sails through.
+	var ok map[string]any
+	code = httpJSON(t, "POST", base+"/v1/solve",
+		`{"design":{"modules":[{"name":"a","w":8,"h":4}]},"options":{"chipWidth":10}}`, &ok)
+	if code != http.StatusAccepted {
+		t.Fatalf("well-formed submit status %d: %v", code, ok)
+	}
+	v := pollJob(t, base, ok["id"].(string), 30*time.Second)
+	if v["state"] != "done" {
+		t.Fatalf("well-formed job finished %v (%v)", v["state"], v["error"])
+	}
+}
+
 func TestE2EFloorplandCancelFreesWorker(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI e2e in -short mode")

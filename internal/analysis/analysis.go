@@ -1,0 +1,69 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. It exists
+// because this repository builds offline against the standard library
+// only; the loader (see load.go) recovers full type information without
+// x/tools by combining `go list -export` with the gc export-data
+// importer of go/importer.
+//
+// The project's analyzers live in this package too (ctxsolve, toleq,
+// obsevent, locked) and are driven by cmd/floorplanvet; see DESIGN.md
+// section 11 for what each one enforces.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Run is invoked once per loaded package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in //vet:allow
+	// suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package. Diagnostics are reported via
+	// Pass.Report/Reportf; the error return is reserved for analyzer
+	// failures (not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and types to an analyzer, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report records one diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	d.Position = p.Fset.Position(d.Pos)
+	p.report(d)
+}
+
+// Reportf records one diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest is the golden-test driver, mirroring
+// golang.org/x/tools/go/analysis/analysistest.Run: it loads pkgPath from
+// the GOPATH-shaped fixture tree rooted at gopath (sources under
+// gopath/src/...), applies the analyzers, and matches the resulting
+// diagnostics against `// want "regexp"` comments in the fixture source.
+// Each want comment expects one diagnostic on its own line whose message
+// matches the (Go-quoted or backquoted) regular expression; several
+// expectations may share a line. Unmatched expectations and unexpected
+// diagnostics both fail the test.
+func RunTest(t *testing.T, gopath string, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(gopath)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	cfg := LoadConfig{
+		Dir: filepath.Join(abs, "src", pkgPath),
+		Env: []string{"GOPATH=" + abs, "GO111MODULE=off", "GOFLAGS="},
+	}
+	pkgs, err := Load(cfg, pkgPath)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("analysistest: fixture does not type-check: %v", terr)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	expects := wantComments(t, pkgs)
+	matched := make([]bool, len(expects))
+	for _, d := range diags {
+		ok := false
+		for i, e := range expects {
+			if matched[i] || e.file != d.Position.Filename || e.line != d.Position.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, e := range expects {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// wantComments extracts the `// want` expectations from fixture source.
+func wantComments(t *testing.T, pkgs []*Package) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, pat := range splitQuoted(t, pos, m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `"a" "b"`.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want expectation must be a quoted string, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		lit := s[:end+2]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no patterns", pos)
+	}
+	return out
+}

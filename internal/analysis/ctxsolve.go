@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxSolve enforces the context discipline introduced with the solver
+// service: every solver entry point has a Ctx variant, and code that
+// already holds a context.Context must use it.
+//
+// Two rules:
+//
+//  1. A function holding a context.Context parameter must not call a
+//     function or method F when a sibling FCtx (same package scope, or
+//     same receiver type) taking a context.Context exists — the ctx in
+//     hand must be threaded through.
+//  2. context.Background() and context.TODO() may appear only in
+//     package main, in tests, or inside the designated non-Ctx bridge:
+//     a function F whose sibling FCtx exists (Solve calling
+//     SolveCtx(context.Background(), ...) is the one legitimate place a
+//     fresh root context is minted).
+//
+// Suppress intentional root contexts (e.g. a server's base context)
+// with //vet:allow ctxsolve.
+var CtxSolve = &Analyzer{
+	Name: "ctxsolve",
+	Doc:  "calls through Ctx solver variants when a context is in hand; no stray context.Background()",
+	Run:  runCtxSolve,
+}
+
+func runCtxSolve(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := funcHasCtxParam(pass, fd)
+			isBridge := ctxSibling(pass, fd) != nil
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass, call)
+				if callee == nil {
+					return true
+				}
+				if isContextRoot(callee) {
+					if pass.Pkg.Name() != "main" && !hasCtx && !isBridge {
+						pass.Reportf(call.Pos(), "context.%s outside main or a Ctx bridge; thread a context.Context instead", callee.Name())
+					}
+					if hasCtx {
+						pass.Reportf(call.Pos(), "context.%s in a function that already has a context.Context parameter", callee.Name())
+					}
+					return true
+				}
+				if !hasCtx {
+					return true
+				}
+				if sib := ctxVariantOf(callee); sib != nil {
+					pass.Reportf(call.Pos(), "call %s and pass the context in hand instead of %s", sib.Name(), callee.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// funcHasCtxParam reports whether the declared function takes a
+// context.Context parameter.
+func funcHasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isContextRoot reports whether f is context.Background or context.TODO.
+func isContextRoot(f *types.Func) bool {
+	return f.Pkg() != nil && f.Pkg().Path() == "context" &&
+		(f.Name() == "Background" || f.Name() == "TODO")
+}
+
+// ctxSibling returns the FCtx sibling of the declared function, if any.
+func ctxSibling(pass *Pass, fd *ast.FuncDecl) *types.Func {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return ctxVariantOf(obj)
+}
+
+// ctxVariantOf returns the function FCtx matching F: same package scope
+// for plain functions, same receiver base type for methods. The variant
+// must itself take a context.Context to count.
+func ctxVariantOf(f *types.Func) *types.Func {
+	name := f.Name()
+	if strings.HasSuffix(name, "Ctx") {
+		return nil
+	}
+	want := name + "Ctx"
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var cand types.Object
+	if recv := sig.Recv(); recv != nil {
+		named := namedOf(recv.Type())
+		if named == nil {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == want {
+				cand = named.Method(i)
+				break
+			}
+		}
+	} else if f.Pkg() != nil {
+		cand = f.Pkg().Scope().Lookup(want)
+	}
+	cf, ok := cand.(*types.Func)
+	if !ok {
+		return nil
+	}
+	csig := cf.Type().(*types.Signature)
+	for i := 0; i < csig.Params().Len(); i++ {
+		if isContextType(csig.Params().At(i).Type()) {
+			return cf
+		}
+	}
+	return nil
+}
+
+// namedOf unwraps pointers to the named receiver type.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Only
+// the package's own non-test files are parsed; dependencies contribute
+// type information through their compiled export data.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors holds any type-checking problems. Analyzers still run
+	// on a partially-checked package, but drivers should surface these.
+	TypeErrors []error
+}
+
+// LoadConfig selects where and how packages are resolved.
+type LoadConfig struct {
+	// Dir is the working directory for `go list` (the module root for
+	// module-mode loads, a fixture tree for GOPATH-mode loads). Empty
+	// means the current directory.
+	Dir string
+	// Env entries are appended to the inherited environment, e.g.
+	// GOPATH=... and GO111MODULE=off for testdata fixtures.
+	Env []string
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with `go list -e -export -deps -json`,
+// parses each matched package's source and type-checks it against the
+// export data of its dependencies. This recovers the same information
+// golang.org/x/tools/go/packages.Load(NeedTypes|NeedSyntax) provides,
+// using only the standard toolchain, and therefore works without any
+// module downloads.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), cfg.Env...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, errb.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg := &Package{Path: t.ImportPath, Fset: fset}
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		tp, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+		if err != nil && len(pkg.TypeErrors) == 0 {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		}
+		pkg.Types = tp
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

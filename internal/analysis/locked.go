@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Locked enforces mutex-annotation discipline: a function whose doc
+// comment carries a machine-readable line
+//
+//	// locked: ps.mu
+//
+// (where ps is the function's receiver) may only be called with that
+// mutex held. A call site satisfies the contract when either
+//
+//   - the calling function carries the same annotation for the same
+//     lock expression, or
+//   - the caller's body contains an <expr>.Lock() on the required lock
+//     before the call, with no non-deferred <expr>.Unlock() in between
+//     (the classic mu.Lock(); defer mu.Unlock() pattern, or an explicit
+//     Lock/call/Unlock bracket).
+//
+// The check is lexical within one function body — it does not build a
+// cross-procedural lockset — which is exactly the discipline the
+// parallel branch-and-bound pool relies on for its
+// opened == closed + pruned + open trace invariant (DESIGN.md sections
+// 9 and 11). Annotated functions are matched per package; annotations
+// on exported functions called from other packages are not visible
+// there, so locked helpers should stay unexported.
+var Locked = &Analyzer{
+	Name: "locked",
+	Doc:  "functions annotated '// locked: x.mu' are only called with the annotated mutex held",
+	Run:  runLocked,
+}
+
+// lockedAnnotation records one annotated function: the receiver name it
+// states the lock in terms of, and the field path after it ("mu").
+type lockedAnnotation struct {
+	recv string // annotated receiver name, e.g. "ps"
+	path string // lock member path, e.g. "mu"
+}
+
+func runLocked(pass *Pass) error {
+	annotated := map[*types.Func]lockedAnnotation{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			spec := ""
+			for _, c := range fd.Doc.List {
+				if rest, ok := strings.CutPrefix(c.Text, "// locked:"); ok {
+					spec = strings.TrimSpace(rest)
+				}
+			}
+			if spec == "" {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv, path, ok := strings.Cut(spec, ".")
+			if !ok {
+				pass.Reportf(fd.Pos(), "malformed locked annotation %q (want receiver.field, e.g. ps.mu)", spec)
+				continue
+			}
+			if rn := recvName(fd); rn != recv {
+				pass.Reportf(fd.Pos(), "locked annotation %q does not start with the receiver name %q", spec, rn)
+				continue
+			}
+			annotated[obj] = lockedAnnotation{recv: recv, path: path}
+		}
+	}
+	if len(annotated) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedCalls(pass, fd, annotated)
+		}
+	}
+	return nil
+}
+
+// checkLockedCalls validates every call to an annotated function inside
+// fd's body.
+func checkLockedCalls(pass *Pass, fd *ast.FuncDecl, annotated map[*types.Func]lockedAnnotation) {
+	// The caller's own annotation, if any, rendered as a lock expression
+	// string in the caller's naming ("ps.mu").
+	callerLock := ""
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if rest, ok := strings.CutPrefix(c.Text, "// locked:"); ok {
+				callerLock = strings.TrimSpace(rest)
+			}
+		}
+	}
+
+	// Deferred calls are exempt from the "unlock releases the lock"
+	// bookkeeping: defer mu.Unlock() runs at return, after every call in
+	// the body.
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		return true
+	})
+
+	// All Lock/Unlock events in the body, keyed by the text of the mutex
+	// expression they act on.
+	type lockEvent struct {
+		pos  token.Pos
+		lock bool
+	}
+	events := map[string][]lockEvent{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock":
+			mu := types.ExprString(sel.X)
+			events[mu] = append(events[mu], lockEvent{pos: call.Pos(), lock: true})
+		case "Unlock":
+			if !deferred[call] {
+				mu := types.ExprString(sel.X)
+				events[mu] = append(events[mu], lockEvent{pos: call.Pos(), lock: false})
+			}
+		}
+		return true
+	})
+	heldAt := func(mu string, pos token.Pos) bool {
+		held := false
+		for _, ev := range events[mu] {
+			if ev.pos >= pos {
+				break
+			}
+			held = ev.lock
+		}
+		return held
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return true
+		}
+		ann, ok := annotated[callee]
+		if !ok {
+			return true
+		}
+		// The lock the callee requires, in the caller's naming: the
+		// callee's receiver is whatever expression the call selects on.
+		required := ann.recv + "." + ann.path
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			required = types.ExprString(sel.X) + "." + ann.path
+		}
+		if callerLock == required {
+			return true
+		}
+		if heldAt(required, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call to %s requires %s held (annotate the caller '// locked: %s' or take the lock first)",
+			callee.Name(), required, required)
+		return true
+	})
+}
+
+// recvName returns the name of fd's receiver, or "" for plain functions.
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}

@@ -1,0 +1,11 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"afp/internal/analysis"
+)
+
+func TestLocked(t *testing.T) {
+	analysis.RunTest(t, "testdata", "afp/locked", analysis.Locked)
+}

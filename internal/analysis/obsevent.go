@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// NewObsEvent builds the obsevent analyzer around an event registry:
+// kind string -> the field names emit sites may populate for that kind.
+// cmd/floorplanvet instantiates it with the generated obs.Schema, so a
+// typo'd event kind or a field never produced for that kind fails vet
+// instead of silently fragmenting the trace schema.
+//
+// The analyzer checks every composite literal of the obs Event type:
+// the Kind value (when it is a compile-time constant) must be a
+// registered kind, and every field set in the literal must appear in
+// that kind's registry entry. T and Kind themselves are always legal.
+func NewObsEvent(schema map[string][]string) *Analyzer {
+	fields := make(map[string]map[string]bool, len(schema))
+	for kind, fs := range schema {
+		m := map[string]bool{"T": true, "Kind": true}
+		for _, f := range fs {
+			m[f] = true
+		}
+		fields[kind] = m
+	}
+	return &Analyzer{
+		Name: "obsevent",
+		Doc:  "obs.Event kinds and fields must appear in the generated registry (internal/obs/schema.go)",
+		Run: func(pass *Pass) error {
+			return runObsEvent(pass, fields)
+		},
+	}
+}
+
+func runObsEvent(pass *Pass, schema map[string]map[string]bool) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isObsEventType(pass, cl) {
+				return true
+			}
+			kind, known := literalKind(pass, cl)
+			if !known {
+				return true // Kind omitted or non-constant: nothing checkable
+			}
+			allowed, ok := schema[kind]
+			if !ok {
+				pass.Reportf(cl.Pos(), "unknown obs event kind %q (regenerate internal/obs/schema.go or fix the kind)", kind)
+				return true
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if !allowed[key.Name] {
+					pass.Reportf(kv.Pos(), "field %s is not in the registered schema for obs event kind %q", key.Name, kind)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsEventType reports whether the composite literal builds the obs
+// telemetry Event struct (matched by type name and package path suffix,
+// so fixture stubs under testdata qualify too).
+func isObsEventType(pass *Pass, cl *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// literalKind extracts the constant string value of the literal's Kind
+// field, if present and constant.
+func literalKind(pass *Pass, cl *ast.CompositeLit) (string, bool) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Kind" {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[kv.Value]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", false
+		}
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"afp/internal/analysis"
+)
+
+func TestObsEvent(t *testing.T) {
+	schema := map[string][]string{
+		"lp.solve":  {"Iters", "Obj"},
+		"node.open": {"Node"},
+	}
+	analysis.RunTest(t, "testdata", "afp/obsevent", analysis.NewObsEvent(schema))
+}

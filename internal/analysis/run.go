@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// allowRe matches suppression comments. A finding is suppressed when the
+// line it is reported on, or the line directly above it, carries a
+// comment of the form
+//
+//	//vet:allow <analyzer>[,<analyzer>...] -- reason
+//
+// The reason is mandatory by convention (reviewed, not enforced); the
+// analyzer list is matched by name. The comment must start with the
+// directive — mentioning //vet:allow mid-comment does not suppress.
+var allowRe = regexp.MustCompile(`^//vet:allow\s+([A-Za-z0-9_,]+)`)
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Suppressed findings are dropped;
+// packages with type errors are analyzed anyway (the caller decides
+// whether type errors are fatal).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := suppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if names, ok := allowed[posKey{d.Position.Filename, d.Position.Line}]; ok {
+					if names[a.Name] || names["all"] {
+						return
+					}
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// suppressions maps source lines to the analyzer names allowed there. A
+// comment on line L suppresses findings on L and on L+1, so both
+// trailing and preceding placements work.
+func suppressions(pkg *Package) map[posKey]map[string]bool {
+	out := map[posKey]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := posKey{pos.Filename, line}
+					if out[k] == nil {
+						out[k] = map[string]bool{}
+					}
+					for n := range names {
+						out[k][n] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Package ctxsolve is the golden fixture for the ctxsolve analyzer.
+package ctxsolve
+
+import "context"
+
+// Solver has the Solve/SolveCtx sibling pair the analyzer looks for.
+type Solver struct{}
+
+// Solve is the designated non-Ctx bridge: minting a root context here
+// is the one legitimate place outside main.
+func (s *Solver) Solve() int { return s.SolveCtx(context.Background()) }
+
+// SolveCtx is the context-threading variant.
+func (s *Solver) SolveCtx(ctx context.Context) int {
+	_ = ctx
+	return 0
+}
+
+// Run and RunCtx are a package-level sibling pair.
+func Run() int { return 0 }
+
+// RunCtx is the context-threading variant of Run.
+func RunCtx(ctx context.Context) int {
+	_ = ctx
+	return 0
+}
+
+func useHeld(ctx context.Context, s *Solver) {
+	_ = s.Solve()               // want `call SolveCtx and pass the context in hand instead of Solve`
+	_ = Run()                   // want `call RunCtx and pass the context in hand instead of Run`
+	_ = context.Background()    // want `context.Background in a function that already has a context.Context parameter`
+	_ = s.SolveCtx(ctx)         // ok: the context is threaded
+	_ = RunCtx(context.TODO())  // want `context.TODO in a function that already has a context.Context parameter`
+}
+
+func noCtx(s *Solver) {
+	_ = context.TODO() // want `context.TODO outside main or a Ctx bridge; thread a context.Context instead`
+	_ = s.Solve()      // ok: no context in hand here
+}
+
+func allowedRoot() context.Context {
+	return context.Background() //vet:allow ctxsolve -- fixture for the suppression mechanism
+}

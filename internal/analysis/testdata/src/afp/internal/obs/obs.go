@@ -1,0 +1,30 @@
+// Package obs is a reduced stub of the repository's telemetry package,
+// just enough for the obsevent analyzer fixtures: the analyzer matches
+// the Event type by name and by the internal/obs path suffix, so this
+// stub exercises exactly the production matching logic.
+package obs
+
+// Kind identifies the event type.
+type Kind string
+
+// Stub event kinds.
+const (
+	KindLPSolve  Kind = "lp.solve"
+	KindNodeOpen Kind = "node.open"
+)
+
+// Event is the flat telemetry record.
+type Event struct {
+	T     int64
+	Kind  Kind
+	Node  int
+	Iters int
+	Obj   float64
+	Gap   float64
+}
+
+// Observer forwards events.
+type Observer struct{}
+
+// Emit consumes one event.
+func (o *Observer) Emit(e Event) {}

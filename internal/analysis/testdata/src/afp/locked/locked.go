@@ -1,0 +1,41 @@
+// Package locked is the golden fixture for the locked analyzer.
+package locked
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	n  int
+}
+
+// commit applies one node-count delta to the shared tally.
+// locked: p.mu
+func (p *pool) commit(d int) { p.n += d }
+
+// relay forwards to commit while itself running under the lock.
+// locked: p.mu
+func (p *pool) relay() { p.commit(3) } // ok: caller carries the same annotation
+
+func (p *pool) deferred() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.commit(1) // ok: lock taken above, unlock deferred
+}
+
+func (p *pool) bracket() {
+	p.mu.Lock()
+	p.commit(1) // ok: inside the Lock/Unlock bracket
+	p.mu.Unlock()
+	p.commit(2) // want `call to commit requires p.mu held`
+}
+
+func (p *pool) bad() {
+	p.commit(4) // want `call to commit requires p.mu held`
+	p.relay()   // want `call to relay requires p.mu held`
+}
+
+func (p *pool) wrongLock(other *pool) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	p.commit(5) // want `call to commit requires p.mu held`
+}

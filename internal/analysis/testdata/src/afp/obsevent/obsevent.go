@@ -1,0 +1,14 @@
+// Package obsevent is the golden fixture for the obsevent analyzer. The
+// test instantiates the analyzer with a registry containing lp.solve
+// (Iters, Obj) and node.open (Node).
+package obsevent
+
+import "afp/internal/obs"
+
+func emit(o *obs.Observer) {
+	o.Emit(obs.Event{Kind: obs.KindLPSolve, Iters: 3, Obj: 1.5}) // ok: registered kind and fields
+	o.Emit(obs.Event{Kind: obs.KindNodeOpen, Node: 1})           // ok
+	o.Emit(obs.Event{Kind: "node.opne", Node: 1})                // want `unknown obs event kind "node.opne"`
+	o.Emit(obs.Event{Kind: obs.KindLPSolve, Node: 1})            // want `field Node is not in the registered schema for obs event kind "lp.solve"`
+	o.Emit(obs.Event{Iters: 9})                                  // ok: no constant kind to check against
+}

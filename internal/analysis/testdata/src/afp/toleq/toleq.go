@@ -1,0 +1,31 @@
+// Package toleq is the golden fixture for the toleq analyzer.
+package toleq
+
+import "math"
+
+const half = 0.5
+
+func compare(a, b float64, n int) bool {
+	if a == b { // want `exact float64 == comparison; use geom.Eq or justify with //vet:allow toleq`
+		return true
+	}
+	if a != b*2 { // want `exact float64 != comparison`
+		return false
+	}
+	if float64(n) == a { // want `exact float64 == comparison`
+		return false
+	}
+	if a == 0 { // ok: constant comparand is exact by construction
+		return false
+	}
+	if b != half { // ok: named constant
+		return false
+	}
+	if a == math.Inf(1) { // ok: infinity sentinel
+		return false
+	}
+	if a == b { //vet:allow toleq -- fixture for the suppression mechanism
+		return true
+	}
+	return a < b // ok: ordering comparisons are not flagged
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TolEq flags exact == and != comparisons between float64 expressions.
+// Solver output carries simplex rounding noise, so exact float equality
+// is almost always a latent bug; comparisons must go through the geom
+// tolerance helpers (geom.Eq and friends, built on geom.Tol).
+//
+// Two comparisons stay legal without suppression because they are exact
+// by construction:
+//
+//   - comparisons against a constant (x == 0 skips a structurally zero
+//     coefficient; branch-and-bound compares bounds it assigned itself
+//     to literal integers), and
+//   - comparisons against math.Inf(...), since infinities are exact
+//     sentinel values, not computed quantities.
+//
+// Everything else needs either a geom helper or an explicit
+// //vet:allow toleq -- reason (e.g. tie-breaking a sort on values that
+// were never arithmetically derived).
+//
+// Raw < and <= ordering comparisons are deliberately not flagged: an
+// ordering between two noisy floats is well-defined (at worst the
+// outcome near a tie is arbitrary, which a tolerance cannot fix either),
+// and the simplex pivot loops legitimately manage their own explicit
+// epsilons. See DESIGN.md section 11.
+var TolEq = &Analyzer{
+	Name: "toleq",
+	Doc:  "no exact ==/!= between computed float64 expressions; use geom.Tol helpers",
+	Run:  runTolEq,
+}
+
+func runTolEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isComputedFloat(pass, be.X) || !isComputedFloat(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "exact float64 %s comparison; use geom.Eq or justify with //vet:allow toleq", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isComputedFloat reports whether e is a float64-typed expression that
+// is neither a compile-time constant nor an infinity sentinel.
+func isComputedFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Float64 {
+		return false
+	}
+	return !isInfCall(pass, e)
+}
+
+// isInfCall reports whether e is a call to math.Inf.
+func isInfCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && f.Pkg() != nil && f.Pkg().Path() == "math" && f.Name() == "Inf"
+}

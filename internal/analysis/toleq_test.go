@@ -1,0 +1,11 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"afp/internal/analysis"
+)
+
+func TestTolEq(t *testing.T) {
+	analysis.RunTest(t, "testdata", "afp/toleq", analysis.TolEq)
+}

@@ -145,7 +145,9 @@ func leafCurves(d *netlist.Design, samples int) [][]shapePoint {
 			}
 		default:
 			pts = append(pts, shapePoint{w: m.W, h: m.H, li: -1, ri: -1, leafK: 0})
-			if m.Rotatable && m.W != m.H {
+			// Rotation only yields a distinct shape when the sides differ by
+			// more than the geometric tolerance.
+			if m.Rotatable && !geom.Eq(m.W, m.H) {
 				pts = append(pts, shapePoint{w: m.H, h: m.W, li: -1, ri: -1, leafK: 1})
 			}
 		}

@@ -112,6 +112,7 @@ func pareto(pts []shapePoint) []shapePoint {
 	sorted := append([]shapePoint(nil), pts...)
 	for i := 1; i < len(sorted); i++ {
 		for j := i; j > 0 && (sorted[j].w < sorted[j-1].w ||
+			//vet:allow toleq -- exact lexicographic tie keeps the sort a total order
 			(sorted[j].w == sorted[j-1].w && sorted[j].h < sorted[j-1].h)); j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}

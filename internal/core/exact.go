@@ -32,42 +32,16 @@ func FloorplanExact(d *netlist.Design, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	spec := &mipmodel.Spec{
-		ChipWidth:  c.ChipWidth,
-		Objective:  c.Objective,
-		WireWeight: c.WireWeight,
-		Linearize:  c.Linearize,
-		BlanketM:   c.NoPresolve,
-	}
-	for i := range d.Modules {
-		m := &d.Modules[i]
-		padW, padH := c.pads(m)
-		spec.New = append(spec.New, mipmodel.NewModule{Index: i, Mod: m, PadW: padW, PadH: padH})
-	}
-	if c.Objective == mipmodel.AreaWire {
-		conn := d.Connectivity()
-		spec.Conn = func(a, b int) float64 { return conn[a][b] }
-	}
-	if c.CriticalMaxLen > 0 {
-		for _, net := range d.Nets {
-			if !net.Critical {
-				continue
-			}
-			for a := 0; a < len(net.Modules); a++ {
-				for b := a + 1; b < len(net.Modules); b++ {
-					spec.Critical = append(spec.Critical, mipmodel.CriticalPair{
-						A: net.Modules[a], B: net.Modules[b], MaxLen: c.CriticalMaxLen,
-					})
-				}
-			}
-		}
-	}
+	spec := c.exactSpec(d)
 
 	built, err := mipmodel.Build(spec)
 	if err != nil {
 		return nil, fmt.Errorf("core: exact: %w", err)
 	}
 	c.presolve(built, 0)
+	if err := c.auditStep(built, 0); err != nil {
+		return nil, fmt.Errorf("core: exact: %w", err)
+	}
 	hintEnvs, rotated, dws := bottomLeftHint(spec, nil)
 	opts := c.MILP
 	opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
@@ -120,6 +94,42 @@ func FloorplanExact(d *netlist.Design, cfg Config) (*Result, error) {
 		return opt, nil
 	}
 	return res, nil
+}
+
+// exactSpec builds the single-subproblem spec covering the whole design:
+// the paper's initial formulation, also the model AuditDesign verifies.
+func (c *Config) exactSpec(d *netlist.Design) *mipmodel.Spec {
+	spec := &mipmodel.Spec{
+		ChipWidth:  c.ChipWidth,
+		Objective:  c.Objective,
+		WireWeight: c.WireWeight,
+		Linearize:  c.Linearize,
+		BlanketM:   c.NoPresolve,
+	}
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		padW, padH := c.pads(m)
+		spec.New = append(spec.New, mipmodel.NewModule{Index: i, Mod: m, PadW: padW, PadH: padH})
+	}
+	if c.Objective == mipmodel.AreaWire {
+		conn := d.Connectivity()
+		spec.Conn = func(a, b int) float64 { return conn[a][b] }
+	}
+	if c.CriticalMaxLen > 0 {
+		for _, net := range d.Nets {
+			if !net.Critical {
+				continue
+			}
+			for a := 0; a < len(net.Modules); a++ {
+				for b := a + 1; b < len(net.Modules); b++ {
+					spec.Critical = append(spec.Critical, mipmodel.CriticalPair{
+						A: net.Modules[a], B: net.Modules[b], MaxLen: c.CriticalMaxLen,
+					})
+				}
+			}
+		}
+	}
+	return spec
 }
 
 func allIndices(n int) []int {

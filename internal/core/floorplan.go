@@ -89,6 +89,14 @@ type Config struct {
 	// optimum is identical either way — presolve only prunes the search —
 	// so this is an escape hatch for debugging and A/B measurement.
 	NoPresolve bool
+	// Audit statically verifies every step's MILP with
+	// mipmodel/modelcheck after presolve and before branch and bound,
+	// failing the floorplan on any finding. The audit proves the pair
+	// coverage, big-M redundancy and linearization-direction invariants of
+	// the formulation (see DESIGN.md section 11); it costs a few
+	// milliseconds per step and exists to catch formulation regressions,
+	// so CLIs enable it together with -verify.
+	Audit bool
 	// Obs receives augmentation telemetry (step.start/step.done events)
 	// and is threaded into the MILP and LP layers so a single sink sees
 	// the whole solve. Nil (the default) disables instrumentation at no
@@ -310,6 +318,9 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			return nil, fmt.Errorf("core: step %d: %w", step, err)
 		}
 		c.presolve(built, step)
+		if err := c.auditStep(built, step); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 
 		// Seed branch and bound with a bottom-left packing of the group
 		// (after presolve, so Hint sees the symmetry pinning).
@@ -342,6 +353,9 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 				return nil, fmt.Errorf("core: step %d: %w", step, err)
 			}
 			c.presolve(built, step)
+			if err := c.auditStep(built, step); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
 			opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
 			mres = milp.SolveCtx(ctx, built.Model, opts)
 		}

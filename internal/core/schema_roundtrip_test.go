@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"afp/internal/obs"
+)
+
+// TestRecordedEventsMatchSchema round-trips a full augmentation trace —
+// step, presolve, search and adjust events — through the generated obs
+// registry.
+func TestRecordedEventsMatchSchema(t *testing.T) {
+	rec := &obs.Recorder{}
+	d := tinyDesign()
+	if _, err := Floorplan(d, Config{PostOptimize: true, Obs: obs.New(rec)}); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, e := range events {
+		if err := obs.ValidateEvent(e); err != nil {
+			t.Errorf("recorded event fails schema: %v", err)
+		}
+	}
+	for _, kind := range []obs.Kind{obs.KindStepStart, obs.KindStepDone} {
+		if rec.CountKind(kind) == 0 {
+			t.Errorf("no %s events in the trace", kind)
+		}
+	}
+}

@@ -24,7 +24,13 @@ import (
 // Orientations of rigid modules are kept as placed. Flexible modules keep
 // their linearized shape model (cfg.Linearize) and may change width.
 func OptimizeTopology(d *netlist.Design, prev *Result, cfg Config) (*Result, error) {
-	return optimizeTopologyRanges(context.Background(), d, prev, cfg, nil)
+	return OptimizeTopologyCtx(context.Background(), d, prev, cfg)
+}
+
+// OptimizeTopologyCtx is OptimizeTopology under a context; cancellation
+// aborts the running LP and surfaces as ctx.Err().
+func OptimizeTopologyCtx(ctx context.Context, d *netlist.Design, prev *Result, cfg Config) (*Result, error) {
+	return optimizeTopologyRanges(ctx, d, prev, cfg, nil)
 }
 
 // AdjustFloorplan runs the fixed-topology LP iters times, each round

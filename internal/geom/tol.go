@@ -1,0 +1,30 @@
+package geom
+
+// This file holds the shared tolerance-aware float comparisons. The
+// toleq analyzer (see DESIGN.md section 11) forbids exact float64
+// ==/!= in internal packages; code compares through these helpers (or
+// carries a //vet:allow toleq justification) instead.
+
+// Eq reports whether a and b are equal within Eps, the geometric
+// coincidence tolerance.
+func Eq(a, b float64) bool { return Within(a, b, Eps) }
+
+// EqTol reports whether a and b are equal within Tol, the looser
+// solver-facing feasibility tolerance.
+func EqTol(a, b float64) bool { return Within(a, b, Tol) }
+
+// Within reports whether a and b differ by at most tol.
+func Within(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Less reports whether a is less than b by more than Eps — a strict
+// comparison that treats Eps-coincident values as equal.
+func Less(a, b float64) bool { return a < b-Eps }
+
+// LessEq reports whether a is less than or Eps-equal to b.
+func LessEq(a, b float64) bool { return a <= b+Eps }

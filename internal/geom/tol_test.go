@@ -1,0 +1,59 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqWithinEps(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + 1e-10, true},  // inside Eps
+		{1, 1 + 1e-6, false},  // outside Eps
+		{-2, -2 - 1e-10, true},
+		{0, 1e-8, false},
+		{math.Inf(1), math.Inf(1), false}, // Inf-Inf is NaN: Eq is for finite values
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqTolLooserThanEq(t *testing.T) {
+	a, b := 1.0, 1.0+1e-7 // between Eps (1e-9) and Tol (1e-6)
+	if Eq(a, b) {
+		t.Fatalf("Eq(%g, %g) should fail at Eps", a, b)
+	}
+	if !EqTol(a, b) {
+		t.Fatalf("EqTol(%g, %g) should pass at Tol", a, b)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(3, 3.4, 0.5) || Within(3, 3.6, 0.5) {
+		t.Fatal("Within misclassifies at a 0.5 tolerance")
+	}
+	if !Within(5, 5, 0) {
+		t.Fatal("Within(5, 5, 0) should hold")
+	}
+}
+
+func TestLessTreatsEpsAsEqual(t *testing.T) {
+	if Less(1, 1+1e-10) {
+		t.Fatal("Less must not separate Eps-coincident values")
+	}
+	if !Less(1, 1.001) {
+		t.Fatal("Less(1, 1.001) should hold")
+	}
+	if !LessEq(1+1e-10, 1) {
+		t.Fatal("LessEq must accept Eps-coincident values")
+	}
+	if LessEq(1.001, 1) {
+		t.Fatal("LessEq(1.001, 1) should not hold")
+	}
+}

@@ -148,6 +148,27 @@ func (p *Problem) AddConstraint(name string, terms []Term, op Op, rhs float64) C
 	return ConID(len(p.rows) - 1)
 }
 
+// Constraint returns the name, terms, relation and right-hand side of
+// constraint c. The terms slice is a copy; mutating it does not affect
+// the problem.
+func (p *Problem) Constraint(c ConID) (name string, terms []Term, op Op, rhs float64) {
+	return p.conNames[c], append([]Term(nil), p.rows[c]...), p.ops[c], p.rhs[c]
+}
+
+// SetConstraint replaces the terms, relation and right-hand side of an
+// existing constraint, keeping its name. The model auditor's tests use
+// it to corrupt well-formed models in controlled ways.
+func (p *Problem) SetConstraint(c ConID, terms []Term, op Op, rhs float64) {
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(p.names) {
+			panic(fmt.Sprintf("lp: constraint %q references unknown variable %d", p.conNames[c], t.Var))
+		}
+	}
+	p.rows[c] = append([]Term(nil), terms...)
+	p.ops[c] = op
+	p.rhs[c] = rhs
+}
+
 // Clone returns a deep copy of the problem. Branch-and-bound nodes clone
 // the relaxation before tightening variable bounds.
 func (p *Problem) Clone() *Problem {
@@ -285,6 +306,7 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveOpts(Options{}) }
 // SolveOpts solves the problem with the given options. The Problem itself
 // is not modified.
 func (p *Problem) SolveOpts(opt Options) (*Solution, error) {
+	//vet:allow ctxsolve -- context-free convenience bridge to SolveCtx
 	return p.SolveCtx(context.Background(), opt)
 }
 

@@ -32,6 +32,7 @@ func (p *Problem) PropagateBounds(ints []VarID, passes int) (tightened, fixed in
 	}
 	wasFixed := make([]bool, len(p.names))
 	for v := range p.names {
+		//vet:allow toleq -- fixed bounds are assigned equal, and exact == is Inf-safe
 		wasFixed[v] = p.lo[v] == p.hi[v]
 	}
 
@@ -136,6 +137,7 @@ func (p *Problem) PropagateBounds(ints []VarID, passes int) (tightened, fixed in
 		}
 	}
 	for v := range p.names {
+		//vet:allow toleq -- fixed bounds are assigned equal, and exact == is Inf-safe
 		if !wasFixed[v] && p.lo[v] == p.hi[v] {
 			fixed++
 		}

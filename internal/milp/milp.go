@@ -569,6 +569,7 @@ func (s *solver) pickBranchVar(x []float64, n *node) int {
 	best := -1
 	bestScore := intTol
 	for k, v := range s.m.Ints {
+		//vet:allow toleq -- node bounds are fixed by assignment; exact == is intentional
 		if n.lo[k] == n.hi[k] {
 			continue
 		}

@@ -37,6 +37,7 @@ type nodeHeap []*node
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
+	//vet:allow toleq -- exact tie keeps the heap order total and deterministic
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound
 	}
@@ -195,7 +196,9 @@ func (ps *psolver) timeUp() bool {
 	return !ps.deadline.IsZero() && time.Now().After(ps.deadline)
 }
 
-// stopLocked flags the drain and wakes every waiter. Callers hold ps.mu.
+// stopLocked flags the drain and wakes every waiter.
+//
+// locked: ps.mu
 func (ps *psolver) stopLocked() {
 	ps.stopped = true
 	ps.cond.Broadcast()
@@ -267,7 +270,9 @@ func (ps *psolver) next(worker int, local *node) *node {
 	}
 }
 
-// emitProgressLocked mirrors the serial probe. Callers hold ps.mu.
+// emitProgressLocked mirrors the serial probe.
+//
+// locked: ps.mu
 func (ps *psolver) emitProgressLocked(curBound float64) {
 	lb := math.Min(minOpenBound(ps.pool), curBound)
 	e := obs.Event{
@@ -372,6 +377,7 @@ func (ps *psolver) pickBranchVar(x []float64, n *node) int {
 	best := -1
 	bestScore := intTol
 	for k, v := range ps.m.Ints {
+		//vet:allow toleq -- node bounds are fixed by assignment; exact == is intentional
 		if n.lo[k] == n.hi[k] {
 			continue
 		}

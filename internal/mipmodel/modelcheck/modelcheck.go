@@ -1,0 +1,443 @@
+// Package modelcheck statically audits built floorplanning MILPs. It is
+// the model-level counterpart of the AST analyzers in internal/analysis:
+// instead of trusting that mipmodel.Build emitted the formulation of
+// Sutanthavibul, Shragowitz and Rosen (DAC 1990) correctly, Audit
+// re-derives the structural invariants from the finished lp.Problem and
+// reports every violation as a Finding.
+//
+// Audit proves, for a well-formed model:
+//
+//   - every placeable pair is covered by exactly four disjunctive rows
+//     (left/right/below/above) whose binary activation patterns are the
+//     four distinct assignments of the pair's (z, p) variables;
+//   - every 0-1 variable is referenced by at least one row, and no
+//     continuous variable dangles (no row, no objective);
+//   - every big-M is large enough: a disjunctive row selected inactive by
+//     its binaries is implied by the remaining structure, so the
+//     tightened Ms of DESIGN.md section 10 never cut an integer-feasible
+//     placement;
+//   - the flexible-module height rows outer-approximate h = S/w on the
+//     width interval in the direction their linearization promises
+//     (secant above the hyperbola, tangent below);
+//   - all coefficients, bounds and right-hand sides are finite.
+//
+// The big-M check first bounds each row's continuous part by interval
+// arithmetic over the variable bounds (tightened with the obstacle floor
+// levels yLo, whose validity presolve's tests establish). Where that is
+// too loose — exactly the rows whose tightening exploits structural rows
+// such as the chip-height definition — it solves a tiny LP maximizing
+// the row's continuous part subject to the model's structural rows (rows
+// referencing no pair binaries) over the row's own variables plus the
+// chip height. Both bounds are sound upper bounds on the true maximum,
+// so a row flagged here genuinely admits an integer assignment that the
+// formulation claims to relax but does not.
+package modelcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"afp/internal/lp"
+	"afp/internal/milp"
+	"afp/internal/mipmodel"
+)
+
+// Finding is one audit violation.
+type Finding struct {
+	Rule   string // stable identifier: pair-coverage, activation, bigm, dangling, curve, finite
+	Detail string
+}
+
+func (f Finding) String() string { return f.Rule + ": " + f.Detail }
+
+// Audit statically verifies a built floorplanning MILP and returns every
+// violation found. A nil result certifies the invariants listed in the
+// package comment.
+func Audit(b *mipmodel.Built) []Finding {
+	v := b.View()
+	fs := AuditModel(b.Model)
+	fs = append(fs, auditPairs(b.Model.P, v)...)
+	fs = append(fs, auditFlex(v)...)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Rule < fs[j].Rule })
+	return fs
+}
+
+// AuditModel verifies the generic structural sanity of any MILP: finite
+// data, no dangling variables, every integer variable constrained by at
+// least one row. It knows nothing about floorplanning and is what
+// cmd/mipsolve -audit runs on hand-written models.
+func AuditModel(m *milp.Model) []Finding {
+	p := m.P
+	var fs []Finding
+	inRows := make([]bool, p.NumVariables())
+	for c := 0; c < p.NumConstraints(); c++ {
+		name, terms, _, rhs := p.Constraint(lp.ConID(c))
+		if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+			fs = append(fs, Finding{"finite", fmt.Sprintf("constraint %q has non-finite rhs %v", name, rhs)})
+		}
+		for _, t := range terms {
+			if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+				fs = append(fs, Finding{"finite", fmt.Sprintf("constraint %q has non-finite coefficient on %s", name, p.VarName(t.Var))})
+			}
+			if t.Coef != 0 {
+				inRows[t.Var] = true
+			}
+		}
+	}
+	isInt := make([]bool, p.NumVariables())
+	for _, v := range m.Ints {
+		if int(v) < 0 || int(v) >= p.NumVariables() {
+			fs = append(fs, Finding{"dangling", fmt.Sprintf("integer registration references unknown variable %d", v)})
+			continue
+		}
+		isInt[v] = true
+	}
+	for i := 0; i < p.NumVariables(); i++ {
+		v := lp.VarID(i)
+		lo, hi := p.Bounds(v)
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) {
+			fs = append(fs, Finding{"finite", fmt.Sprintf("variable %s has invalid bounds [%v, %v]", p.VarName(v), lo, hi)})
+		}
+		if c := p.ObjectiveCoef(v); math.IsNaN(c) || math.IsInf(c, 0) {
+			fs = append(fs, Finding{"finite", fmt.Sprintf("variable %s has non-finite objective coefficient %v", p.VarName(v), c)})
+		}
+		switch {
+		case isInt[i] && !inRows[i]:
+			fs = append(fs, Finding{"dangling", fmt.Sprintf("binary %s is referenced by no constraint", p.VarName(v))})
+		case !isInt[i] && !inRows[i] && p.ObjectiveCoef(v) == 0:
+			fs = append(fs, Finding{"dangling", fmt.Sprintf("variable %s appears in no constraint and has no objective", p.VarName(v))})
+		}
+	}
+	return fs
+}
+
+// assignment is one 0-1 valuation of a pair's (z, p) binaries.
+type assignment struct{ z, p int }
+
+var allAssignments = [4]assignment{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+
+// pairRow is one disjunctive row of a pair: the row id plus the z/p
+// coefficients split out of the term list.
+type pairRow struct {
+	id     lp.ConID
+	cz, cp float64
+}
+
+func auditPairs(p *lp.Problem, v mipmodel.ModelView) []Finding {
+	var fs []Finding
+
+	// Index every pair binary, and collect the structural rows: rows that
+	// reference (with a nonzero coefficient) no pair binary. They encode
+	// unconditional facts — fit, height definition, area cut, wire
+	// distances — and are what the LP fallback of the big-M check may use.
+	pairBin := map[lp.VarID]bool{}
+	for _, pr := range v.Pairs {
+		pairBin[pr.Z] = true
+		pairBin[pr.P] = true
+	}
+	rowsOf := map[lp.VarID][]lp.ConID{} // pair binary -> rows mentioning it (any coefficient)
+	var structural []lp.ConID
+	for c := 0; c < p.NumConstraints(); c++ {
+		id := lp.ConID(c)
+		_, terms, _, _ := p.Constraint(id)
+		hasPairBin := false
+		seen := map[lp.VarID]bool{}
+		for _, t := range terms {
+			if pairBin[t.Var] {
+				if t.Coef != 0 {
+					hasPairBin = true
+				}
+				if !seen[t.Var] {
+					seen[t.Var] = true
+					rowsOf[t.Var] = append(rowsOf[t.Var], id)
+				}
+			}
+		}
+		if !hasPairBin {
+			structural = append(structural, id)
+		}
+	}
+
+	// Expected coverage: every new-new pair and every new-obstacle pair
+	// appears exactly once in the pair table.
+	type key struct {
+		i, j int
+		ob   bool
+	}
+	have := map[key]int{}
+	for _, pr := range v.Pairs {
+		have[key{pr.I, pr.J, pr.Obstacle}]++
+	}
+	n := len(v.X)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if c := have[key{i, j, false}]; c != 1 {
+				fs = append(fs, Finding{"pair-coverage", fmt.Sprintf("module pair (%s, %s) has %d disjunctions, want 1", p.VarName(v.X[i]), p.VarName(v.X[j]), c)})
+			}
+		}
+		for o := 0; o < v.NumObs; o++ {
+			if c := have[key{i, o, true}]; c != 1 {
+				fs = append(fs, Finding{"pair-coverage", fmt.Sprintf("module %s has %d disjunctions against obstacle %d, want 1", p.VarName(v.X[i]), c, o)})
+			}
+		}
+	}
+
+	for _, pr := range v.Pairs {
+		fs = append(fs, auditOnePair(p, v, pr, rowsOf, structural)...)
+	}
+	return fs
+}
+
+// auditOnePair checks one disjunction: four rows, distinct activation
+// patterns, and big-M redundancy of every inactive configuration.
+func auditOnePair(p *lp.Problem, v mipmodel.ModelView, pr mipmodel.PairView, rowsOf map[lp.VarID][]lp.ConID, structural []lp.ConID) []Finding {
+	var fs []Finding
+	pairName := fmt.Sprintf("(%s, %s)", p.VarName(pr.Z), p.VarName(pr.P))
+
+	// Union of rows mentioning z or p, preserving model order.
+	seen := map[lp.ConID]bool{}
+	var rows []pairRow
+	for _, bin := range []lp.VarID{pr.Z, pr.P} {
+		for _, id := range rowsOf[bin] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			_, terms, op, _ := p.Constraint(id)
+			row := pairRow{id: id}
+			for _, t := range terms {
+				switch t.Var {
+				case pr.Z:
+					row.cz += t.Coef
+				case pr.P:
+					row.cp += t.Coef
+				}
+			}
+			if op != lp.LE {
+				name, _, _, _ := p.Constraint(id)
+				fs = append(fs, Finding{"activation", fmt.Sprintf("pair %s row %q is not a <= row", pairName, name)})
+			}
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) != 4 {
+		fs = append(fs, Finding{"pair-coverage", fmt.Sprintf("pair %s is covered by %d disjunctive rows, want 4", pairName, len(rows))})
+	}
+
+	// Activation pattern per row: the (z, p) assignment maximizing the
+	// binary contribution is the one the row constrains; all others must
+	// leave the row redundant. Rows whose binary coefficients are all zero
+	// are clamped always-active cuts (geometry already forces the
+	// relation) and carry no pattern.
+	active := map[assignment]int{}
+	for _, row := range rows {
+		if row.cz == 0 && row.cp == 0 {
+			continue
+		}
+		best, tie := allAssignments[0], false
+		for _, a := range allAssignments[1:] {
+			ca := row.cz*float64(a.z) + row.cp*float64(a.p)
+			cb := row.cz*float64(best.z) + row.cp*float64(best.p)
+			switch {
+			case ca > cb:
+				best, tie = a, false
+			//vet:allow toleq -- the audit detects exactly duplicated activation patterns
+			case ca == cb:
+				tie = true
+			}
+		}
+		name, _, _, _ := p.Constraint(row.id)
+		if tie {
+			fs = append(fs, Finding{"activation", fmt.Sprintf("pair %s row %q has no unique activation pattern", pairName, name)})
+			continue
+		}
+		active[best]++
+		if active[best] > 1 {
+			fs = append(fs, Finding{"activation", fmt.Sprintf("pair %s has multiple rows activated by (z, p) = (%d, %d)", pairName, best.z, best.p)})
+		}
+		fs = append(fs, auditBigM(p, v, pr, row, best, structural)...)
+	}
+	return fs
+}
+
+// auditBigM proves that row is redundant at every in-bounds (z, p)
+// assignment other than its activation pattern.
+func auditBigM(p *lp.Problem, v mipmodel.ModelView, pr mipmodel.PairView, row pairRow, active assignment, structural []lp.ConID) []Finding {
+	name, terms, _, rhs := p.Constraint(row.id)
+
+	// The continuous part of the row: every nonzero term except this
+	// pair's own binaries. Rot binaries land here too; treating a 0-1
+	// variable as its [lo, hi] interval only loosens the bound, which
+	// keeps the check sound.
+	var cont []lp.Term
+	for _, t := range terms {
+		if t.Var == pr.Z || t.Var == pr.P || t.Coef == 0 {
+			continue
+		}
+		cont = append(cont, t)
+	}
+
+	// Worst in-bounds inactive contribution. Presolve may have fixed a
+	// binary (symmetry pinning); assignments outside the current bounds
+	// are unreachable and exempt from the redundancy requirement.
+	zLo, zHi := p.Bounds(pr.Z)
+	pLo, pHi := p.Bounds(pr.P)
+	inBounds := func(a assignment) bool {
+		return float64(a.z) >= zLo-0.5 && float64(a.z) <= zHi+0.5 &&
+			float64(a.p) >= pLo-0.5 && float64(a.p) <= pHi+0.5
+	}
+	worst, any := math.Inf(-1), false
+	for _, a := range allAssignments {
+		if a == active || !inBounds(a) {
+			continue
+		}
+		if c := row.cz*float64(a.z) + row.cp*float64(a.p); c > worst {
+			worst, any = c, true
+		}
+	}
+	if !any {
+		return nil
+	}
+
+	tol := 1e-6 * (1 + math.Abs(rhs))
+	maxCont := intervalMax(p, v, cont)
+	if maxCont+worst <= rhs+tol {
+		return nil
+	}
+	// Interval arithmetic ignores the structural rows (chip height
+	// definition, fit) that justify the tightened Ms; fall back to an
+	// exact LP bound over them.
+	if lb, ok := structuralMax(p, v, cont, structural); ok && lb < maxCont {
+		maxCont = lb
+	}
+	if maxCont+worst <= rhs+tol {
+		return nil
+	}
+	return []Finding{{"bigm", fmt.Sprintf(
+		"row %q is not redundant when inactive: max lhs %.6g + contribution %.6g exceeds rhs %.6g (big-M too small)",
+		name, maxCont, worst, rhs)}}
+}
+
+// effBounds returns the bounds of variable x, with y-variable lower
+// bounds lifted to the obstacle floor level yLo: every integer-feasible
+// placement rests at or above its floor (the sliding-window lemma of
+// presolve.go), whether or not presolve has materialized the bound yet.
+func effBounds(p *lp.Problem, v mipmodel.ModelView, x lp.VarID) (float64, float64) {
+	lo, hi := p.Bounds(x)
+	for slot, yv := range v.Y {
+		if yv == x && v.YLo[slot] > lo {
+			lo = v.YLo[slot]
+		}
+	}
+	return lo, hi
+}
+
+// intervalMax bounds the maximum of a linear expression over the
+// variable boxes.
+func intervalMax(p *lp.Problem, v mipmodel.ModelView, terms []lp.Term) float64 {
+	sum := 0.0
+	for _, t := range terms {
+		lo, hi := effBounds(p, v, t.Var)
+		sum += math.Max(t.Coef*lo, t.Coef*hi)
+	}
+	return sum
+}
+
+// structuralMax bounds the maximum of a linear expression subject to the
+// structural rows closed over the expression's variables plus the chip
+// height. The LP is tiny (a handful of variables and rows); a non-optimal
+// outcome falls back to the interval bound.
+func structuralMax(p *lp.Problem, v mipmodel.ModelView, terms []lp.Term, structural []lp.ConID) (float64, bool) {
+	vars := map[lp.VarID]lp.VarID{}
+	sub := lp.NewProblem()
+	sub.SetMaximize(true)
+	addVar := func(x lp.VarID) lp.VarID {
+		if id, ok := vars[x]; ok {
+			return id
+		}
+		lo, hi := effBounds(p, v, x)
+		id := sub.AddVariable(p.VarName(x), lo, hi, 0)
+		vars[x] = id
+		return id
+	}
+	for _, t := range terms {
+		id := addVar(t.Var)
+		sub.SetObjectiveCoef(id, sub.ObjectiveCoef(id)+t.Coef)
+	}
+	addVar(v.Height)
+
+	for _, c := range structural {
+		name, rowTerms, op, rhs := p.Constraint(c)
+		usable := true
+		for _, t := range rowTerms {
+			if _, ok := vars[t.Var]; !ok && t.Coef != 0 {
+				usable = false
+				break
+			}
+		}
+		if !usable {
+			continue
+		}
+		mapped := make([]lp.Term, 0, len(rowTerms))
+		for _, t := range rowTerms {
+			if t.Coef != 0 {
+				mapped = append(mapped, lp.Term{Var: vars[t.Var], Coef: t.Coef})
+			}
+		}
+		sub.AddConstraint(name, mapped, op, rhs)
+	}
+
+	sol, err := sub.SolveOpts(lp.Options{MaxIter: 2000})
+	if err != nil || sol.Status != lp.StatusOptimal {
+		return 0, false
+	}
+	return sol.Objective, true
+}
+
+// auditFlex checks that each flexible module's linearized height bounds
+// the true hyperbola h = S/w from the side its linearization promises:
+// the secant chord lies on or above the convex curve (a conservative
+// over-approximation), the tangent on or below it.
+func auditFlex(v mipmodel.ModelView) []Finding {
+	var fs []Finding
+	const samples = 64
+	for _, f := range v.Flex {
+		worst := 0.0
+		for s := 0; s <= samples; s++ {
+			dw := f.DWMax * float64(s) / samples
+			w := f.WMax - dw
+			if w <= 0 {
+				fs = append(fs, Finding{"curve", fmt.Sprintf("flexible slot %d: width range reaches %g", f.Slot, w)})
+				break
+			}
+			truth := f.Area/w + f.PadH
+			approx := f.HConst + f.HSlope*dw
+			gap := truth - approx // >0: approx below the curve
+			if f.Tangent {
+				gap = -gap
+			}
+			if gap > worst {
+				worst = gap
+			}
+		}
+		tol := 1e-6 * (1 + f.HConst)
+		if worst > tol {
+			side := "below"
+			if f.Tangent {
+				side = "above"
+			}
+			fs = append(fs, Finding{"curve", fmt.Sprintf(
+				"flexible slot %d: linearized height falls %s the S/w curve by %.6g, violating the %s guarantee",
+				f.Slot, side, worst, linName(f.Tangent))})
+		}
+	}
+	return fs
+}
+
+func linName(tangent bool) string {
+	if tangent {
+		return "tangent under-approximation"
+	}
+	return "secant over-approximation"
+}

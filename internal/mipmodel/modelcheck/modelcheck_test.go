@@ -1,0 +1,210 @@
+package modelcheck
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"afp/internal/geom"
+	"afp/internal/lp"
+	"afp/internal/mipmodel"
+	"afp/internal/netlist"
+)
+
+// specFor wraps a module list into a single-subproblem spec.
+func specFor(mods []netlist.Module, width float64) *mipmodel.Spec {
+	s := &mipmodel.Spec{ChipWidth: width}
+	for i := range mods {
+		s.New = append(s.New, mipmodel.NewModule{Index: i, Mod: &mods[i]})
+	}
+	return s
+}
+
+// quickstartModules mirrors examples/quickstart.
+func quickstartModules() []netlist.Module {
+	return []netlist.Module{
+		{Name: "cpu", Kind: netlist.Rigid, W: 8, H: 6, Rotatable: true},
+		{Name: "ram", Kind: netlist.Rigid, W: 6, H: 6},
+		{Name: "dma", Kind: netlist.Rigid, W: 4, H: 3, Rotatable: true},
+		{Name: "rom", Kind: netlist.Flexible, Area: 24, MinAspect: 0.5, MaxAspect: 2},
+		{Name: "io", Kind: netlist.Flexible, Area: 18, MinAspect: 0.4, MaxAspect: 2.5},
+	}
+}
+
+// topologyModules mirrors examples/topology.
+func topologyModules() []netlist.Module {
+	return []netlist.Module{
+		{Name: "a", Kind: netlist.Rigid, W: 6, H: 4},
+		{Name: "b", Kind: netlist.Flexible, Area: 24, MinAspect: 0.5, MaxAspect: 2},
+		{Name: "c", Kind: netlist.Rigid, W: 4, H: 4},
+		{Name: "d", Kind: netlist.Flexible, Area: 16, MinAspect: 0.5, MaxAspect: 2},
+	}
+}
+
+func mustBuild(t *testing.T, spec *mipmodel.Spec) *mipmodel.Built {
+	t.Helper()
+	b, err := mipmodel.Build(spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return b
+}
+
+func wantClean(t *testing.T, b *mipmodel.Built) {
+	t.Helper()
+	if fs := Audit(b); len(fs) != 0 {
+		for _, f := range fs {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// designWidth picks a chip width every module of the design fits.
+func designWidth(d *netlist.Design) float64 {
+	total, maxw := 0.0, 0.0
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		total += m.ModuleArea()
+		w := m.W
+		if m.Kind == netlist.Flexible {
+			w, _ = m.WidthRange()
+		}
+		if w > maxw {
+			maxw = w
+		}
+	}
+	return math.Max(1.3*math.Sqrt(total), maxw+1)
+}
+
+// TestAuditExamples audits the MILPs of the designs the examples/
+// programs build: every formulation the repository ships must pass.
+func TestAuditExamples(t *testing.T) {
+	t.Run("quickstart", func(t *testing.T) {
+		wantClean(t, mustBuild(t, specFor(quickstartModules(), 12)))
+	})
+	t.Run("topology", func(t *testing.T) {
+		wantClean(t, mustBuild(t, specFor(topologyModules(), 10)))
+	})
+	t.Run("baseline", func(t *testing.T) {
+		d := netlist.Random(20, 7)
+		wantClean(t, mustBuild(t, specFor(d.Modules, designWidth(d))))
+	})
+	t.Run("ami33", func(t *testing.T) {
+		// ami33 also backs examples/bookshelf via the format round-trip.
+		d := netlist.AMI33()
+		wantClean(t, mustBuild(t, specFor(d.Modules, designWidth(d))))
+	})
+}
+
+// obstacleSpec exercises every row family at once: obstacles, anchors,
+// wire objective, critical nets, envelope padding.
+func obstacleSpec(lin mipmodel.Linearization, blanket bool) *mipmodel.Spec {
+	s := specFor(quickstartModules(), 16)
+	s.New[0].PadW, s.New[0].PadH = 1, 0.5
+	s.Obstacles = []geom.Rect{geom.NewRect(0, 0, 6, 4), geom.NewRect(9, 0, 5, 3)}
+	s.Anchors = []mipmodel.Anchor{{Index: 97, X: 3, Y: 2}}
+	s.Objective = mipmodel.AreaWire
+	s.Conn = func(a, b int) float64 {
+		if a > b {
+			a, b = b, a
+		}
+		if a == 0 && (b == 1 || b == 97) {
+			return 1
+		}
+		return 0
+	}
+	s.Critical = []mipmodel.CriticalPair{{A: 2, B: 4, MaxLen: 30}, {A: 3, B: 97, MaxLen: 40}}
+	s.Linearize = lin
+	s.BlanketM = blanket
+	return s
+}
+
+func TestAuditVariants(t *testing.T) {
+	t.Run("obstacles-secant", func(t *testing.T) {
+		wantClean(t, mustBuild(t, obstacleSpec(mipmodel.Secant, false)))
+	})
+	t.Run("obstacles-tangent", func(t *testing.T) {
+		wantClean(t, mustBuild(t, obstacleSpec(mipmodel.Tangent, false)))
+	})
+	t.Run("obstacles-blanket", func(t *testing.T) {
+		wantClean(t, mustBuild(t, obstacleSpec(mipmodel.Secant, true)))
+	})
+	t.Run("after-presolve", func(t *testing.T) {
+		b := mustBuild(t, obstacleSpec(mipmodel.Secant, false))
+		b.Presolve()
+		wantClean(t, b)
+	})
+}
+
+// findRow locates a constraint by name.
+func findRow(t *testing.T, p *lp.Problem, name string) lp.ConID {
+	t.Helper()
+	for c := 0; c < p.NumConstraints(); c++ {
+		if n, _, _, _ := p.Constraint(lp.ConID(c)); n == name {
+			return lp.ConID(c)
+		}
+	}
+	t.Fatalf("no constraint named %q", name)
+	return 0
+}
+
+// wantOneFinding asserts the audit reports exactly one finding with the
+// given rule and detail substring.
+func wantOneFinding(t *testing.T, b *mipmodel.Built, rule, substr string) {
+	t.Helper()
+	fs := Audit(b)
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(fs), fs)
+	}
+	if fs[0].Rule != rule || !strings.Contains(fs[0].Detail, substr) {
+		t.Fatalf("got finding %s, want rule %q containing %q", fs[0], rule, substr)
+	}
+}
+
+// TestAuditCorruptMissingRow drops the binaries from one disjunctive row,
+// leaving the pair with three rows: exactly the bug a typo in the row
+// emission loop would introduce.
+func TestAuditCorruptMissingRow(t *testing.T) {
+	b := mustBuild(t, specFor(topologyModules(), 10))
+	p := b.Model.P
+	id := findRow(t, p, "L.a.b")
+	_, terms, op, rhs := p.Constraint(id)
+	var kept []lp.Term
+	v := b.View()
+	for _, tm := range terms {
+		if tm.Var == v.Pairs[0].Z || tm.Var == v.Pairs[0].P {
+			continue
+		}
+		kept = append(kept, tm)
+	}
+	p.SetConstraint(id, kept, op, rhs)
+	wantOneFinding(t, b, "pair-coverage", "3 disjunctive rows")
+}
+
+// TestAuditCorruptUndersizedM halves the right-hand side of a below row,
+// shrinking the slack the big-M must provide when the row is deselected.
+func TestAuditCorruptUndersizedM(t *testing.T) {
+	b := mustBuild(t, specFor(topologyModules(), 10))
+	p := b.Model.P
+	id := findRow(t, p, "B.a.b")
+	_, terms, op, rhs := p.Constraint(id)
+	p.SetConstraint(id, terms, op, rhs/2)
+	wantOneFinding(t, b, "bigm", "big-M too small")
+}
+
+// TestAuditCorruptDanglingBinary registers a binary no row references.
+func TestAuditCorruptDanglingBinary(t *testing.T) {
+	b := mustBuild(t, specFor(topologyModules(), 10))
+	b.Model.AddBinary("ghost", 0)
+	wantOneFinding(t, b, "dangling", "ghost")
+}
+
+// TestAuditModelFinite checks the generic data-sanity rules.
+func TestAuditModelFinite(t *testing.T) {
+	b := mustBuild(t, specFor(topologyModules(), 10))
+	p := b.Model.P
+	id := findRow(t, p, "fit.a")
+	_, terms, op, _ := p.Constraint(id)
+	p.SetConstraint(id, terms, op, math.Inf(1))
+	wantOneFinding(t, b, "finite", "non-finite rhs")
+}

@@ -126,6 +126,7 @@ func (b *Built) Presolve() PresolveStats {
 			// integer-feasible point. Keep the earlier fixing.
 			return
 		}
+		//vet:allow toleq -- fixed bounds are assigned equal; exact == is intentional
 		if lo == hi {
 			return
 		}

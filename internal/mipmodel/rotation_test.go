@@ -1,0 +1,29 @@
+package mipmodel
+
+import "testing"
+
+// A rotatable module whose sides coincide within the geometric tolerance
+// gains nothing from rotation; the builder must not mint an orientation
+// binary (or its paired rows) for it.
+func TestNearSquareRotatableHasNoOrientationBinary(t *testing.T) {
+	square := rigid("sq", 4, 4+1e-12, true)
+	oblong := rigid("ob", 4, 6, true)
+	spec := &Spec{
+		ChipWidth: 12,
+		New: []NewModule{
+			{Index: 0, Mod: &square},
+			{Index: 1, Mod: &oblong},
+		},
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := b.View()
+	if v.Rot[0] != -1 {
+		t.Fatalf("near-square module got orientation binary %v", v.Rot[0])
+	}
+	if v.Rot[1] == -1 {
+		t.Fatal("genuinely oblong module lost its orientation binary")
+	}
+}

@@ -166,7 +166,9 @@ func moduleDims(nm *NewModule, mode Linearization) (dims, error) {
 		w0 := m.W + nm.PadW
 		h0 := m.H + nm.PadH
 		d.wConst, d.hConst = w0, h0
-		if m.Rotatable && m.W != m.H {
+		// Rotation only yields a distinct shape when the sides differ by
+		// more than the geometric tolerance.
+		if m.Rotatable && !geom.Eq(m.W, m.H) {
 			// After rotation the horizontal extent is the original height plus
 			// the padding that now faces east/west (the former north/south
 			// padding), and symmetrically for the vertical extent.

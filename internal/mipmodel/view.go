@@ -1,0 +1,83 @@
+package mipmodel
+
+import "afp/internal/lp"
+
+// PairView exposes one non-overlap disjunction of a Built model: the two
+// placeable objects it separates and the pair's 0-1 variables. The four
+// disjunctive rows themselves are found by scanning the problem for rows
+// referencing Z or P.
+type PairView struct {
+	I        int // new-module slot
+	J        int // new-module slot, or Spec.Obstacles index when Obstacle
+	Obstacle bool
+	Z, P     lp.VarID
+}
+
+// FlexView exposes the linearized h = S/w approximation of one flexible
+// module, in the exact terms the rows were emitted with: the effective
+// height expression is HConst + HSlope*dw for dw in [0, DWMax], standing
+// in for Area/(WMax-dw) + PadH.
+type FlexView struct {
+	Slot    int
+	Area    float64 // module area S, without envelope padding
+	WMax    float64 // unpadded maximum width (dw measures decrease from it)
+	DWMax   float64
+	HConst  float64 // padded height at dw = 0
+	PadH    float64
+	HSlope  float64
+	Tangent bool // Tangent linearization (under-approximates); Secant otherwise
+}
+
+// ModelView is a read-only structural description of a Built model for
+// static auditing (package modelcheck). It exposes the variable handles
+// and formulation constants that are otherwise private to the builder.
+type ModelView struct {
+	Pairs  []PairView
+	Flex   []FlexView
+	YLo    []float64 // per-slot obstacle floor level (sliding-window lemma)
+	X, Y   []lp.VarID
+	Rot    []lp.VarID // -1 where not rotatable
+	DW     []lp.VarID // -1 where not flexible
+	Height lp.VarID
+	BigH   float64 // the height horizon H all y big-Ms are measured against
+	Width  float64 // chip width W
+	NumObs int     // number of fixed obstacle rectangles
+}
+
+// View returns the structural description of the built model.
+func (b *Built) View() ModelView {
+	v := ModelView{
+		YLo:    append([]float64(nil), b.yLo...),
+		X:      append([]lp.VarID(nil), b.X...),
+		Y:      append([]lp.VarID(nil), b.Y...),
+		Rot:    append([]lp.VarID(nil), b.Rot...),
+		DW:     append([]lp.VarID(nil), b.DW...),
+		Height: b.Height,
+		BigH:   b.bigH,
+		Width:  b.Spec.ChipWidth,
+		NumObs: len(b.Spec.Obstacles),
+	}
+	for _, pr := range b.pairs {
+		v.Pairs = append(v.Pairs, PairView{
+			I: pr.i, J: pr.j, Obstacle: pr.kind == pairNewObstacle, Z: pr.z, P: pr.y,
+		})
+	}
+	for i, d := range b.ds {
+		if !d.flexible {
+			continue
+		}
+		nm := &b.Spec.New[i]
+		_, wmax := nm.Mod.WidthRange()
+		v.Flex = append(v.Flex, FlexView{
+			Slot:    i,
+			Area:    nm.Mod.Area,
+			WMax:    wmax,
+			DWMax:   d.dwMax,
+			HConst:  d.hConst,
+			PadH:    nm.PadH,
+			HSlope:  d.hSlope,
+			Tangent: b.Spec.Linearize == Tangent,
+		})
+	}
+	return v
+}

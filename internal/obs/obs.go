@@ -12,6 +12,11 @@
 // Enabled observers forward flat, schema-stable Event values to a Sink
 // (a JSONL trace writer, an in-memory recorder, a human-readable log,
 // or any combination).
+//
+// schema.go is generated from the repository's emit sites; regenerate it
+// after adding or changing an event emission.
+//
+//go:generate go run afp/internal/obs/schemagen -root ../.. -out schema.go
 package obs
 
 import (

@@ -1,0 +1,278 @@
+// Schemagen generates internal/obs/schema.go: the registry of every
+// event kind the repository emits and the fields its emitters populate.
+// It is a purely syntactic scan — go/parser over every non-test source
+// file — so it needs no build and works offline:
+//
+//   - constants of type Kind (or obs.Kind) with an explicit string value
+//     name the kinds, wherever they are declared;
+//   - composite literals of obs.Event record the populated fields; when
+//     the literal seeds a local variable, later `v.Field = ...`
+//     assignments in the same function are folded in.
+//
+// The obsevent analyzer (internal/analysis) then checks every emit site
+// against the generated registry at vet time, and obs.ValidateEvent
+// checks events against it at run time.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", "../..", "module root to scan")
+	out := flag.String("out", "schema.go", "output file (package obs)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("schemagen: ")
+
+	files, err := sourceFiles(*root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parsed = append(parsed, af)
+	}
+
+	kinds := kindConstants(parsed)
+	schema := map[string]map[string]bool{}
+	for _, af := range parsed {
+		scanFile(af, kinds, schema)
+	}
+	if len(schema) == 0 {
+		log.Fatal("no obs.Event emit sites found")
+	}
+	if err := os.WriteFile(*out, render(schema), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// sourceFiles lists every non-test, non-generated .go file under root,
+// skipping testdata trees and this generator's own output.
+func sourceFiles(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." && name != ".." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || name == "schema.go" {
+			return nil
+		}
+		out = append(out, path)
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// kindConstants maps constant names to kind strings: every const of
+// declared type Kind or obs.Kind with a string literal value.
+func kindConstants(files []*ast.File) map[string]string {
+	out := map[string]string{}
+	for _, af := range files {
+		for _, decl := range af.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || !isKindType(vs.Type) || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if s, ok := stringLit(vs.Values[i]); ok {
+						out[name.Name] = s
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isKindType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "Kind"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Kind"
+	}
+	return false
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	return s, err == nil
+}
+
+// scanFile records every obs.Event composite literal of the file into
+// schema, folding in later assignments to the literal's variable.
+func scanFile(af *ast.File, kinds map[string]string, schema map[string]map[string]bool) {
+	ast.Inspect(af, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		scanFunc(fn.Body, kinds, schema)
+		return true
+	})
+}
+
+func scanFunc(body *ast.BlockStmt, kinds map[string]string, schema map[string]map[string]bool) {
+	// varKinds maps local variable names seeded from an Event literal to
+	// the literal's kind, so `e.Gap = ...` extends that kind's fields.
+	varKinds := map[string]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if !isEventType(n.Type) {
+				return true
+			}
+			kind, fields := literalInfo(n, kinds)
+			if kind == "" {
+				return true
+			}
+			addFields(schema, kind, fields)
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			if lit, ok := n.Rhs[0].(*ast.CompositeLit); ok && isEventType(lit.Type) {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if kind, _ := literalInfo(lit, kinds); kind != "" {
+						varKinds[id.Name] = kind
+					}
+				}
+				return true
+			}
+			sel, ok := n.Lhs[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if kind, tracked := varKinds[id.Name]; tracked {
+					addFields(schema, kind, []string{sel.Sel.Name})
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isEventType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "Event"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Event"
+	}
+	return false
+}
+
+// literalInfo resolves the literal's kind string and lists its other
+// populated field names. A literal without a resolvable constant kind
+// (dynamic or empty) contributes nothing.
+func literalInfo(lit *ast.CompositeLit, kinds map[string]string) (string, []string) {
+	kind := ""
+	var fields []string
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if key.Name == "Kind" {
+			switch v := kv.Value.(type) {
+			case *ast.Ident:
+				kind = kinds[v.Name]
+			case *ast.SelectorExpr:
+				kind = kinds[v.Sel.Name]
+			case *ast.BasicLit:
+				kind, _ = stringLit(v)
+			}
+			continue
+		}
+		fields = append(fields, key.Name)
+	}
+	return kind, fields
+}
+
+func addFields(schema map[string]map[string]bool, kind string, fields []string) {
+	if schema[kind] == nil {
+		schema[kind] = map[string]bool{}
+	}
+	for _, f := range fields {
+		schema[kind][f] = true
+	}
+}
+
+func render(schema map[string]map[string]bool) []byte {
+	kinds := make([]string, 0, len(schema))
+	for k := range schema {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+
+	var buf bytes.Buffer
+	buf.WriteString("// Code generated by schemagen; run go generate ./internal/obs. DO NOT EDIT.\n\n")
+	buf.WriteString("package obs\n\n")
+	buf.WriteString("// Schema maps every event kind emitted anywhere in the repository to\n")
+	buf.WriteString("// the Event fields its emitters populate. The obsevent analyzer checks\n")
+	buf.WriteString("// emit sites against it at vet time; ValidateEvent checks events\n")
+	buf.WriteString("// against it at run time.\n")
+	buf.WriteString("var Schema = map[string][]string{\n")
+	for _, k := range kinds {
+		fields := make([]string, 0, len(schema[k]))
+		for f := range schema[k] {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		fmt.Fprintf(&buf, "\t%q: {", k)
+		for i, f := range fields {
+			if i > 0 {
+				buf.WriteString(", ")
+			}
+			fmt.Fprintf(&buf, "%q", f)
+		}
+		buf.WriteString("},\n")
+	}
+	buf.WriteString("}\n")
+	src, err := format.Source(buf.Bytes())
+	if err != nil {
+		log.Fatalf("formatting generated schema: %v", err)
+	}
+	return src
+}

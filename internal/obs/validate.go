@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// KnownKind reports whether k is registered in the generated Schema.
+func KnownKind(k Kind) bool {
+	_, ok := Schema[string(k)]
+	return ok
+}
+
+// ValidateEvent checks an event against the generated Schema: its kind
+// must be registered and every populated (non-zero) field must belong to
+// the kind's registered field set. T and Kind are always allowed. It is
+// the runtime counterpart of the obsevent analyzer and lets tests assert
+// that recorded traces round-trip through the registry.
+func ValidateEvent(e Event) error {
+	allowed, ok := Schema[string(e.Kind)]
+	if !ok {
+		return fmt.Errorf("obs: unknown event kind %q", e.Kind)
+	}
+	set := map[string]bool{"T": true, "Kind": true}
+	for _, f := range allowed {
+		set[f] = true
+	}
+	v := reflect.ValueOf(e)
+	t := v.Type()
+	var bad []string
+	for i := 0; i < t.NumField(); i++ {
+		if v.Field(i).IsZero() || set[t.Field(i).Name] {
+			continue
+		}
+		bad = append(bad, t.Field(i).Name)
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("obs: event kind %q populates unregistered fields %v", e.Kind, bad)
+	}
+	return nil
+}

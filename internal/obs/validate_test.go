@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSchemaCoversAllKinds pins the generated registry to the declared
+// kind constants: a kind with no emit site (or an emit site the
+// generator stopped seeing) fails here, prompting a go generate run.
+func TestSchemaCoversAllKinds(t *testing.T) {
+	kinds := []Kind{
+		KindLPSolve, KindNodeOpen, KindNodeClose, KindNodePrune,
+		KindIncumbent, KindProgress, KindSearchDone, KindSearchParallel,
+		KindStepStart, KindStepDone, KindAdjust, KindAnnealTemp,
+		KindPresolve,
+	}
+	for _, k := range kinds {
+		if !KnownKind(k) {
+			t.Errorf("kind %q is not in the generated Schema", k)
+		}
+	}
+}
+
+func TestValidateEvent(t *testing.T) {
+	if err := ValidateEvent(Event{Kind: KindProgress, Nodes: 3, Bound: 1.5}); err != nil {
+		t.Errorf("valid progress event rejected: %v", err)
+	}
+	if err := ValidateEvent(Event{Kind: "node.opne"}); err == nil || !strings.Contains(err.Error(), "unknown event kind") {
+		t.Errorf("typo'd kind not rejected: %v", err)
+	}
+	if err := ValidateEvent(Event{Kind: KindProgress, Temp: 4}); err == nil || !strings.Contains(err.Error(), "Temp") {
+		t.Errorf("unregistered field not rejected: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ package order
 import (
 	"math/rand"
 
+	"afp/internal/geom"
 	"afp/internal/netlist"
 )
 
@@ -61,9 +62,9 @@ func Linear(d *netlist.Design) []int {
 				continue
 			}
 			switch {
-			case attract[j] > attract[best]:
-				best = j
-			case attract[j] == attract[best]:
+			// Attractions equal within the geometric tolerance count as a
+			// tie, so accumulated float noise cannot decide the order.
+			case geom.Eq(attract[j], attract[best]):
 				// Tie-break: prefer the module whose remaining outside
 				// connectivity is smaller (it is "finished" sooner), then the
 				// lower index.
@@ -72,6 +73,8 @@ func Linear(d *netlist.Design) []int {
 				if outJ < outB {
 					best = j
 				}
+			case attract[j] > attract[best]:
+				best = j
 			}
 		}
 		place(best)

@@ -146,3 +146,29 @@ func TestLinearBeatsRandomOnPrefixCut(t *testing.T) {
 		t.Fatalf("linear ordering (cut %v) beaten by %d/%d random orders", lin, worseCount, trials)
 	}
 }
+
+// Attractions that differ only by float noise count as a tie, so the
+// documented tie-break (smaller outside connectivity, then index) decides
+// the order rather than summation noise.
+func TestLinearTieIgnoresFloatNoise(t *testing.T) {
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "s", Kind: netlist.Rigid, W: 1, H: 1},
+			{Name: "b", Kind: netlist.Rigid, W: 1, H: 1},
+			{Name: "a", Kind: netlist.Rigid, W: 1, H: 1},
+		},
+		Nets: []netlist.Net{
+			{Name: "sb", Modules: []int{0, 1}, Weight: 0.3},
+			// 0.1+0.2 exceeds 0.3 by one noise ulp; module 2's attraction
+			// must still tie with module 1's.
+			{Name: "sa1", Modules: []int{0, 2}, Weight: 0.1},
+			{Name: "sa2", Modules: []int{0, 2}, Weight: 0.2},
+		},
+	}
+	got := Linear(d)
+	// Seed s, then the tie resolves by index: b before a.
+	want := []int{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Linear = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,33 @@
+package route
+
+import (
+	"reflect"
+	"testing"
+
+	"afp/internal/netlist"
+)
+
+// Net weights that differ only by float noise must not decide routing
+// priority: nets within the geometric tolerance tie-break by index.
+func TestNetOrderIgnoresFloatNoise(t *testing.T) {
+	d := &netlist.Design{
+		Modules: []netlist.Module{
+			{Name: "a", Kind: netlist.Rigid, W: 2, H: 2},
+			{Name: "b", Kind: netlist.Rigid, W: 2, H: 2},
+		},
+		Nets: []netlist.Net{
+			{Name: "n0", Modules: []int{0, 1}, Weight: 0.3},
+			// 0.1+0.2 differs from 0.3 by one ulp-scale noise term.
+			{Name: "n1", Modules: []int{0, 1}, Weight: 0.1 + 0.2},
+			{Name: "crit", Modules: []int{0, 1}, Weight: 0.1, Critical: true},
+			{Name: "heavy", Modules: []int{0, 1}, Weight: 5},
+		},
+	}
+	got := netOrder(d)
+	// Critical first, then weight 5, then the two noise-equal nets in
+	// index order (n1's slightly larger float must not promote it).
+	want := []int{2, 3, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("netOrder = %v, want %v", got, want)
+	}
+}

@@ -112,23 +112,7 @@ func Route(fp *core.Result, cfg Config) (*Result, error) {
 		pinNodes[p.Index] = pn
 	}
 
-	// Net ordering: timing-critical nets first [YOU89], then by descending
-	// weight, then by index for determinism.
-	orderIdx := make([]int, len(d.Nets))
-	for i := range orderIdx {
-		orderIdx[i] = i
-	}
-	sort.SliceStable(orderIdx, func(a, b int) bool {
-		na, nb := &d.Nets[orderIdx[a]], &d.Nets[orderIdx[b]]
-		if na.Critical != nb.Critical {
-			return na.Critical
-		}
-		wa, wb := na.Weight, nb.Weight
-		if wa != wb {
-			return wa > wb
-		}
-		return orderIdx[a] < orderIdx[b]
-	})
+	orderIdx := netOrder(d)
 
 	res := &Result{Graph: g}
 	for _, ni := range orderIdx {
@@ -184,6 +168,30 @@ func Route(fp *core.Result, cfg Config) (*Result, error) {
 
 // netTerminals picks one generalized pin per module of the net: the pin
 // node nearest to the centroid of the net's module centers.
+// netOrder returns the routing priority: timing-critical nets first
+// [YOU89], then by descending weight, then by index for determinism.
+// Weights within the geometric tolerance tie-break by index rather than
+// by float noise, so routing priority is stable under benign
+// reformulations of the weights.
+func netOrder(d *netlist.Design) []int {
+	orderIdx := make([]int, len(d.Nets))
+	for i := range orderIdx {
+		orderIdx[i] = i
+	}
+	sort.SliceStable(orderIdx, func(a, b int) bool {
+		na, nb := &d.Nets[orderIdx[a]], &d.Nets[orderIdx[b]]
+		if na.Critical != nb.Critical {
+			return na.Critical
+		}
+		wa, wb := na.Weight, nb.Weight
+		if !geom.Eq(wa, wb) {
+			return wa > wb
+		}
+		return orderIdx[a] < orderIdx[b]
+	})
+	return orderIdx
+}
+
 func netTerminals(fp *core.Result, g *Graph, pinNodes map[int][4]int, net *netlist.Net) []int {
 	var cx, cy float64
 	var cnt int

@@ -126,7 +126,9 @@ func buildShapes(d *netlist.Design, samples int) [][]shape {
 			}
 		default:
 			ss = append(ss, shape{w: m.W, h: m.H})
-			if m.Rotatable && m.W != m.H {
+			// Rotation only yields a distinct shape when the sides differ by
+			// more than the geometric tolerance.
+			if m.Rotatable && !geom.Eq(m.W, m.H) {
 				ss = append(ss, shape{w: m.H, h: m.W, rotated: true})
 			}
 		}

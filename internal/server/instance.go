@@ -275,6 +275,7 @@ func (in *Instance) Key() string {
 		if len(a.Modules) != len(b.Modules) {
 			return len(a.Modules) < len(b.Modules)
 		}
+		//vet:allow toleq -- the canonical cache-key ordering must be exact and total
 		if a.Weight != b.Weight {
 			return a.Weight < b.Weight
 		}

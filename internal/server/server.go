@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"afp/internal/core"
 	"afp/internal/obs"
 )
 
@@ -65,6 +66,7 @@ func New(cfg Config) *Server {
 	case cacheSize < 0:
 		cacheSize = 0
 	}
+	//vet:allow ctxsolve -- the service root context, cancelled by Shutdown
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -156,6 +158,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Static model audit before any solver time is spent: a request that
+	// is well-formed JSON but yields a malformed MILP (a module wider than
+	// the chip, a formulation invariant broken) is rejected here, not
+	// discovered mid-solve. The annealing solver never builds the MILP.
+	if in.Opts.Solver == "augment" {
+		if err := core.AuditDesign(in.Design, in.coreConfig()); err != nil {
+			s.metrics.Count("jobs_malformed", 1)
+			httpError(w, http.StatusUnprocessableEntity, "model audit: %v", err)
+			return
+		}
 	}
 	key := in.Key()
 	s.metrics.Count("jobs_submitted", 1)

@@ -42,6 +42,7 @@ func LeftEdge(intervals []Interval) Assignment {
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		ia, ib := intervals[idx[a]], intervals[idx[b]]
+		//vet:allow toleq -- exact tie keeps the sort a total order; overlap tests use Eps
 		if ia.Lo != ib.Lo {
 			return ia.Lo < ib.Lo
 		}
@@ -97,6 +98,7 @@ func Density(intervals []Interval) int {
 		evs = append(evs, event{iv.Lo, +1}, event{iv.Hi, -1})
 	}
 	sort.Slice(evs, func(a, b int) bool {
+		//vet:allow toleq -- exact tie keeps the sweep-event sort a total order
 		if evs[a].x != evs[b].x {
 			return evs[a].x < evs[b].x
 		}
