@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci vet lint cover race bench benchall benchcmp serve e2e clean
+.PHONY: all build test ci vet lint cover race bench benchall benchcmp serve e2e generate-check clean
 
 all: build
 
@@ -20,11 +20,11 @@ test:
 	$(GO) test ./...
 
 # cover prints a per-package coverage summary and enforces a 70% floor on
-# the static-analysis and model-builder packages, whose correctness the
-# rest of the gate leans on.
+# the static-analysis, model-builder and observability packages, whose
+# correctness the rest of the gate leans on.
 cover:
 	$(GO) test -cover ./internal/... | tee cover.out
-	@awk '/^ok/ && ($$2 == "afp/internal/analysis" || $$2 == "afp/internal/mipmodel") { \
+	@awk '/^ok/ && ($$2 == "afp/internal/analysis" || $$2 == "afp/internal/mipmodel" || $$2 == "afp/internal/obs") { \
 		for (i = 1; i <= NF; i++) if ($$i ~ /^[0-9.]+%$$/) { pct = substr($$i, 1, length($$i)-1) + 0; \
 			if (pct < 70) { printf "cover: %s at %s%% is under the 70%% floor\n", $$2, pct; bad = 1 } \
 			else printf "cover: %s at %s%% meets the 70%% floor\n", $$2, pct } } \
@@ -38,10 +38,20 @@ cover:
 race:
 	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp ./internal/mipmodel ./internal/server ./internal/core
 
+# generate-check fails when internal/obs/schema.go is stale: it
+# regenerates the event/span/histogram registries to a scratch path and
+# byte-compares against the committed file. Run `go generate
+# ./internal/obs` to refresh.
+generate-check:
+	$(GO) run ./internal/obs/schemagen -root . -out internal/obs/.schema_check
+	@cmp internal/obs/.schema_check internal/obs/schema.go \
+		|| { echo "generate-check: internal/obs/schema.go is stale; run: go generate ./internal/obs"; rm -f internal/obs/.schema_check; exit 1; }
+	@rm -f internal/obs/.schema_check
+
 # ci is the gate run before merging: static checks (go vet plus the
-# custom analyzer suite), a full build, and the race-instrumented solver
-# tests.
-ci: vet lint build race
+# custom analyzer suite), generated-file drift, a full build, and the
+# race-instrumented solver tests.
+ci: vet lint generate-check build race
 
 # serve runs the HTTP solve service locally (see DESIGN.md section 8).
 serve:

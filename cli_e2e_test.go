@@ -26,7 +26,7 @@ func buildCLIs(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"floorplan", "experiments", "mipsolve", "floorpland"} {
+		for _, tool := range []string{"floorplan", "experiments", "mipsolve", "floorpland", "floorplantrace"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {

@@ -1,6 +1,8 @@
 // Command floorpland serves the floorplanner as an HTTP/JSON API (see
 // internal/server): asynchronous solve jobs over a bounded worker pool,
-// per-job deadlines and cancellation, an LRU result cache and /metrics.
+// per-job deadlines and cancellation, an LRU result cache, live SSE
+// progress streams and /metrics (JSON or Prometheus exposition by
+// content negotiation).
 //
 // Usage:
 //
@@ -47,6 +49,7 @@ func run() error {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for running solves")
 		traceOut = flag.String("trace", "", "mirror all job telemetry to this JSONL file")
 		verbose  = flag.Bool("verbose", false, "log solver telemetry to stderr")
+		sseHB    = flag.Duration("sse-heartbeat", 15*time.Second, "comment-frame interval keeping idle /v1/jobs/{id}/events streams alive")
 	)
 	flag.Parse()
 
@@ -64,12 +67,13 @@ func run() error {
 	}
 
 	svc := server.New(server.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		CacheSize:   *cache,
-		MaxJobs:     *maxJobs,
-		TraceEvents: *traceCap,
-		Sink:        obs.Multi(sinks...),
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		MaxJobs:      *maxJobs,
+		TraceEvents:  *traceCap,
+		Sink:         obs.Multi(sinks...),
+		SSEHeartbeat: *sseHB,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

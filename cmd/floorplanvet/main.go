@@ -54,7 +54,7 @@ func run() int {
 	analyzers := []*analysis.Analyzer{
 		analysis.CtxSolve,
 		analysis.TolEq,
-		analysis.NewObsEvent(obs.Schema),
+		analysis.NewObsEvent(obs.Schema, obs.SpanNames, obs.HistogramNames),
 		analysis.Locked,
 	}
 	diags, err := analysis.Run(pkgs, analyzers)

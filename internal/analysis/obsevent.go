@@ -7,17 +7,25 @@ import (
 	"strings"
 )
 
-// NewObsEvent builds the obsevent analyzer around an event registry:
-// kind string -> the field names emit sites may populate for that kind.
-// cmd/floorplanvet instantiates it with the generated obs.Schema, so a
-// typo'd event kind or a field never produced for that kind fails vet
-// instead of silently fragmenting the trace schema.
+// NewObsEvent builds the obsevent analyzer around the generated
+// registries: the event schema (kind string -> the field names emit
+// sites may populate for that kind), the span-name registry and the
+// histogram-name registry. cmd/floorplanvet instantiates it with the
+// generated obs.Schema / obs.SpanNames / obs.HistogramNames, so a typo'd
+// event kind, a field never produced for that kind, an unregistered span
+// name or an unregistered histogram name fails vet instead of silently
+// fragmenting the trace schema. Nil span/histogram registries disable
+// those checks.
 //
 // The analyzer checks every composite literal of the obs Event type:
 // the Kind value (when it is a compile-time constant) must be a
 // registered kind, and every field set in the literal must appear in
 // that kind's registry entry. T and Kind themselves are always legal.
-func NewObsEvent(schema map[string][]string) *Analyzer {
+// It also checks every Observer.StartSpan / StartSpanAttrs / Do call
+// whose name argument is a compile-time constant against the span
+// registry, and every Metrics.Observe call against the histogram
+// registry; dynamic names pass unchecked.
+func NewObsEvent(schema map[string][]string, spans, hists map[string]bool) *Analyzer {
 	fields := make(map[string]map[string]bool, len(schema))
 	for kind, fs := range schema {
 		m := map[string]bool{"T": true, "Kind": true}
@@ -28,16 +36,20 @@ func NewObsEvent(schema map[string][]string) *Analyzer {
 	}
 	return &Analyzer{
 		Name: "obsevent",
-		Doc:  "obs.Event kinds and fields must appear in the generated registry (internal/obs/schema.go)",
+		Doc:  "obs.Event kinds/fields, span names and histogram names must appear in the generated registry (internal/obs/schema.go)",
 		Run: func(pass *Pass) error {
-			return runObsEvent(pass, fields)
+			return runObsEvent(pass, fields, spans, hists)
 		},
 	}
 }
 
-func runObsEvent(pass *Pass, schema map[string]map[string]bool) error {
+func runObsEvent(pass *Pass, schema map[string]map[string]bool, spans, hists map[string]bool) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkObsCall(pass, call, spans, hists)
+				return true
+			}
 			cl, ok := n.(*ast.CompositeLit)
 			if !ok || !isObsEventType(pass, cl) {
 				return true
@@ -68,6 +80,68 @@ func runObsEvent(pass *Pass, schema map[string]map[string]bool) error {
 		})
 	}
 	return nil
+}
+
+// checkObsCall vets span-open and histogram-observe call sites whose
+// name argument is a compile-time constant string.
+func checkObsCall(pass *Pass, call *ast.CallExpr, spans, hists map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv, ok := obsReceiver(pass, sel)
+	if !ok {
+		return
+	}
+	switch {
+	case recv == "Observer" && spans != nil &&
+		(sel.Sel.Name == "StartSpan" || sel.Sel.Name == "StartSpanAttrs" || sel.Sel.Name == "Do"):
+		if len(call.Args) < 2 {
+			return
+		}
+		if name, ok := constString(pass, call.Args[1]); ok && !spans[name] {
+			pass.Reportf(call.Args[1].Pos(), "span name %q is not in the generated span registry (regenerate internal/obs/schema.go or fix the name)", name)
+		}
+	case recv == "Metrics" && hists != nil && sel.Sel.Name == "Observe":
+		if len(call.Args) != 2 {
+			return
+		}
+		if name, ok := constString(pass, call.Args[0]); ok && !hists[name] {
+			pass.Reportf(call.Args[0].Pos(), "histogram name %q is not in the generated histogram registry (regenerate internal/obs/schema.go or fix the name)", name)
+		}
+	}
+}
+
+// obsReceiver resolves a method selector's receiver to a named type of
+// the obs package (matched by path suffix, so fixture stubs under
+// testdata qualify too) and returns the type name.
+func obsReceiver(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// constString extracts a compile-time constant string value.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
 }
 
 // isObsEventType reports whether the composite literal builds the obs

@@ -11,5 +11,7 @@ func TestObsEvent(t *testing.T) {
 		"lp.solve":  {"Iters", "Obj"},
 		"node.open": {"Node"},
 	}
-	analysis.RunTest(t, "testdata", "afp/obsevent", analysis.NewObsEvent(schema))
+	spans := map[string]bool{"solve": true, "step": true, "bb": true}
+	hists := map[string]bool{"lp_solve_us": true}
+	analysis.RunTest(t, "testdata", "afp/obsevent", analysis.NewObsEvent(schema, spans, hists))
 }

@@ -28,3 +28,31 @@ type Observer struct{}
 
 // Emit consumes one event.
 func (o *Observer) Emit(e Event) {}
+
+// SpanAttrs are optional span attributes.
+type SpanAttrs struct {
+	Step   int
+	Worker int
+	Detail string
+}
+
+// Span is a stub span.
+type Span struct{}
+
+// End closes the span.
+func (sp *Span) End() {}
+
+// StartSpan opens a span (ctx is stubbed as any).
+func (o *Observer) StartSpan(ctx any, name string) (any, *Span) { return ctx, nil }
+
+// StartSpanAttrs is StartSpan with attributes.
+func (o *Observer) StartSpanAttrs(ctx any, name string, a SpanAttrs) (any, *Span) { return ctx, nil }
+
+// Do runs f inside a span.
+func (o *Observer) Do(ctx any, name string, a SpanAttrs, f func(any)) {}
+
+// Metrics is a stub metrics registry.
+type Metrics struct{}
+
+// Observe records one histogram observation.
+func (m *Metrics) Observe(name string, v float64) {}

@@ -12,3 +12,18 @@ func emit(o *obs.Observer) {
 	o.Emit(obs.Event{Kind: obs.KindLPSolve, Node: 1})            // want `field Node is not in the registered schema for obs event kind "lp.solve"`
 	o.Emit(obs.Event{Iters: 9})                                  // ok: no constant kind to check against
 }
+
+func spansAndHists(o *obs.Observer, m *obs.Metrics) {
+	o.StartSpan(nil, "solve")                                 // ok: registered span
+	o.StartSpanAttrs(nil, "step", obs.SpanAttrs{Step: 1})     // ok
+	o.Do(nil, "bb", obs.SpanAttrs{}, func(any) {})            // ok
+	o.StartSpan(nil, "slove")                                 // want `span name "slove" is not in the generated span registry`
+	o.Do(nil, "bbb", obs.SpanAttrs{}, func(any) {})           // want `span name "bbb" is not in the generated span registry`
+	m.Observe("lp_solve_us", 12)                              // ok: registered histogram
+	m.Observe("lp_solve_ms", 12)                              // want `histogram name "lp_solve_ms" is not in the generated histogram registry`
+	name := dynamicName()
+	o.StartSpan(nil, name) // ok: dynamic names pass unchecked
+	m.Observe(name, 1)     // ok: dynamic names pass unchecked
+}
+
+func dynamicName() string { return "x" }

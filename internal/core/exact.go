@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,7 +39,8 @@ func FloorplanExact(d *netlist.Design, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: exact: %w", err)
 	}
-	c.presolve(built, 0)
+	//vet:allow ctxsolve -- FloorplanExact is the context-free entry point; the presolve span roots here
+	c.presolve(context.Background(), built, 0)
 	if err := c.auditStep(built, 0); err != nil {
 		return nil, fmt.Errorf("core: exact: %w", err)
 	}

@@ -179,7 +179,16 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 // was found — is returned TOGETHER with ctx.Err(), so callers can serve
 // partial results against deadlines; callers that need an all-or-nothing
 // answer should discard the result when err != nil.
-func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
+func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (res *Result, err error) {
+	cfg.Obs.Do(ctx, "solve", obs.SpanAttrs{Detail: d.Name}, func(ctx context.Context) {
+		res, err = floorplanCtx(ctx, d, cfg)
+	})
+	return res, err
+}
+
+// floorplanCtx is the augmentation loop proper, running inside
+// FloorplanCtx's root "solve" span.
+func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -252,148 +261,172 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		}
 		group := ord[pos : pos+e]
 
-		obstacles := geom.CoveringRectangles(envs)
-		if c.OverlappingCovers {
-			obstacles = geom.CoveringRectanglesOverlapping(envs)
-		}
-		if c.NoCoveringRects {
-			obstacles = append([]geom.Rect(nil), envs...)
-		}
-		spec := &mipmodel.Spec{
-			ChipWidth:  c.ChipWidth,
-			Objective:  c.Objective,
-			WireWeight: c.WireWeight,
-			Linearize:  c.Linearize,
-			Obstacles:  obstacles,
-			BlanketM:   c.NoPresolve,
-		}
-		for _, mi := range group {
-			m := &d.Modules[mi]
-			padW, padH := c.pads(m)
-			spec.New = append(spec.New, mipmodel.NewModule{Index: mi, Mod: m, PadW: padW, PadH: padH})
-		}
-		inGroup := make(map[int]bool, len(group))
-		for _, mi := range group {
-			inGroup[mi] = true
-		}
-
-		// Critical pairs touching the group; also collect the placed modules
-		// those pairs need as anchors.
-		needAnchor := map[int]bool{}
-		for _, cp := range critPairs {
-			i, j := cp[0], cp[1]
-			if inGroup[i] || inGroup[j] {
-				spec.Critical = append(spec.Critical,
-					mipmodel.CriticalPair{A: i, B: j, MaxLen: c.CriticalMaxLen})
-				if !inGroup[i] {
-					needAnchor[i] = true
-				}
-				if !inGroup[j] {
-					needAnchor[j] = true
-				}
+		// Each step runs inside its own "step" span (a child of the solve
+		// span), so traces and CPU profiles segment per augmentation step.
+		var stepRes *Result
+		var stepErr error
+		stop := false
+		c.Obs.Do(ctx, "step", obs.SpanAttrs{Step: step}, func(ctx context.Context) {
+			obstacles := geom.CoveringRectangles(envs)
+			if c.OverlappingCovers {
+				obstacles = geom.CoveringRectanglesOverlapping(envs)
 			}
-		}
+			if c.NoCoveringRects {
+				obstacles = append([]geom.Rect(nil), envs...)
+			}
+			spec := &mipmodel.Spec{
+				ChipWidth:  c.ChipWidth,
+				Objective:  c.Objective,
+				WireWeight: c.WireWeight,
+				Linearize:  c.Linearize,
+				Obstacles:  obstacles,
+				BlanketM:   c.NoPresolve,
+			}
+			for _, mi := range group {
+				m := &d.Modules[mi]
+				padW, padH := c.pads(m)
+				spec.New = append(spec.New, mipmodel.NewModule{Index: mi, Mod: m, PadW: padW, PadH: padH})
+			}
+			inGroup := make(map[int]bool, len(group))
+			for _, mi := range group {
+				inGroup[mi] = true
+			}
 
-		if c.Objective == mipmodel.AreaWire {
-			spec.Conn = func(a, b int) float64 { return connMat[a][b] }
-			// Anchor every placed module that connects to the group.
-			for _, p := range res.Placements {
-				for _, mi := range group {
-					if connMat[p.Index][mi] > 0 {
-						needAnchor[p.Index] = true
-						break
+			// Critical pairs touching the group; also collect the placed modules
+			// those pairs need as anchors.
+			needAnchor := map[int]bool{}
+			for _, cp := range critPairs {
+				i, j := cp[0], cp[1]
+				if inGroup[i] || inGroup[j] {
+					spec.Critical = append(spec.Critical,
+						mipmodel.CriticalPair{A: i, B: j, MaxLen: c.CriticalMaxLen})
+					if !inGroup[i] {
+						needAnchor[i] = true
+					}
+					if !inGroup[j] {
+						needAnchor[j] = true
 					}
 				}
 			}
-		}
-		for _, p := range res.Placements {
-			if needAnchor[p.Index] {
-				spec.Anchors = append(spec.Anchors,
-					mipmodel.Anchor{Index: p.Index, X: p.Mod.CenterX(), Y: p.Mod.CenterY()})
+
+			if c.Objective == mipmodel.AreaWire {
+				spec.Conn = func(a, b int) float64 { return connMat[a][b] }
+				// Anchor every placed module that connects to the group.
+				for _, p := range res.Placements {
+					for _, mi := range group {
+						if connMat[p.Index][mi] > 0 {
+							needAnchor[p.Index] = true
+							break
+						}
+					}
+				}
 			}
-		}
+			for _, p := range res.Placements {
+				if needAnchor[p.Index] {
+					spec.Anchors = append(spec.Anchors,
+						mipmodel.Anchor{Index: p.Index, X: p.Mod.CenterX(), Y: p.Mod.CenterY()})
+				}
+			}
 
-		built, err := mipmodel.Build(spec)
-		if err != nil {
-			return nil, fmt.Errorf("core: step %d: %w", step, err)
-		}
-		c.presolve(built, step)
-		if err := c.auditStep(built, step); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-
-		// Seed branch and bound with a bottom-left packing of the group
-		// (after presolve, so Hint sees the symmetry pinning).
-		hintEnvs, rotated, dws := bottomLeftHint(spec, obstacles)
-		opts := c.MILP
-		opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
-		opts.Presolve = !c.NoPresolve
-		opts.Obs = c.Obs
-		opts.LP.Obs = c.Obs
-
-		c.Obs.Emit(obs.Event{
-			Kind: obs.KindStepStart, Step: step, Modules: pos,
-			Covers: len(obstacles), Binaries: len(built.Model.Ints),
-		})
-		stepStart := time.Now()
-		mres := milp.SolveCtx(ctx, built.Model, opts)
-		relaxed := false
-		if mres.X == nil && ctx.Err() != nil {
-			return partial(), ctx.Err()
-		}
-		if mres.X == nil && len(spec.Critical) > 0 {
-			// The timing bounds made this step infeasible (e.g. the partner
-			// module was placed too far away in an earlier step): retry
-			// without them, as the paper's method degrades these constraints
-			// to objectives rather than failing the floorplan.
-			relaxed = true
-			spec.Critical = nil
-			built, err = mipmodel.Build(spec)
+			built, err := mipmodel.Build(spec)
 			if err != nil {
-				return nil, fmt.Errorf("core: step %d: %w", step, err)
+				stepRes, stepErr = nil, fmt.Errorf("core: step %d: %w", step, err)
+				stop = true
+				return
 			}
-			c.presolve(built, step)
+			c.presolve(ctx, built, step)
 			if err := c.auditStep(built, step); err != nil {
-				return nil, fmt.Errorf("core: %w", err)
+				stepRes, stepErr = nil, fmt.Errorf("core: %w", err)
+				stop = true
+				return
 			}
-			opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
-			mres = milp.SolveCtx(ctx, built.Model, opts)
-		}
-		if mres.X == nil {
-			if err := ctx.Err(); err != nil {
-				return partial(), err
-			}
-			return nil, fmt.Errorf("core: step %d: subproblem %v (status %v)", step, spec, mres.Status)
-		}
 
-		pls := built.Decode(mres.X)
-		for _, p := range pls {
-			res.Placements = append(res.Placements, Placement{
-				Index: p.Index, Env: p.Env, Mod: p.Mod, Rotated: p.Rotated,
+			// Seed branch and bound with a bottom-left packing of the group
+			// (after presolve, so Hint sees the symmetry pinning).
+			hintEnvs, rotated, dws := bottomLeftHint(spec, obstacles)
+			opts := c.MILP
+			opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
+			opts.Presolve = !c.NoPresolve
+			opts.Obs = c.Obs
+			opts.LP.Obs = c.Obs
+
+			c.Obs.Emit(obs.Event{
+				Kind: obs.KindStepStart, Step: step, Modules: pos,
+				Covers: len(obstacles), Binaries: len(built.Model.Ints),
 			})
-			envs = append(envs, p.Env)
+			stepStart := time.Now()
+			mres := milp.SolveCtx(ctx, built.Model, opts)
+			relaxed := false
+			if mres.X == nil && ctx.Err() != nil {
+				stepRes, stepErr = partial(), ctx.Err()
+				stop = true
+				return
+			}
+			if mres.X == nil && len(spec.Critical) > 0 {
+				// The timing bounds made this step infeasible (e.g. the partner
+				// module was placed too far away in an earlier step): retry
+				// without them, as the paper's method degrades these constraints
+				// to objectives rather than failing the floorplan.
+				relaxed = true
+				spec.Critical = nil
+				built, err = mipmodel.Build(spec)
+				if err != nil {
+					stepRes, stepErr = nil, fmt.Errorf("core: step %d: %w", step, err)
+					stop = true
+					return
+				}
+				c.presolve(ctx, built, step)
+				if err := c.auditStep(built, step); err != nil {
+					stepRes, stepErr = nil, fmt.Errorf("core: %w", err)
+					stop = true
+					return
+				}
+				opts.Incumbent = built.Hint(hintEnvs, rotated, dws)
+				mres = milp.SolveCtx(ctx, built.Model, opts)
+			}
+			if mres.X == nil {
+				if err := ctx.Err(); err != nil {
+					stepRes, stepErr = partial(), err
+					stop = true
+					return
+				}
+				stepRes, stepErr = nil, fmt.Errorf("core: step %d: subproblem %v (status %v)", step, spec, mres.Status)
+				stop = true
+				return
+			}
+
+			pls := built.Decode(mres.X)
+			for _, p := range pls {
+				res.Placements = append(res.Placements, Placement{
+					Index: p.Index, Env: p.Env, Mod: p.Mod, Rotated: p.Rotated,
+				})
+				envs = append(envs, p.Env)
+			}
+			stepHeight := geom.NewSkyline(envs).MaxHeight()
+			res.Steps = append(res.Steps, StepTrace{
+				Step:      step,
+				Added:     append([]int(nil), group...),
+				Obstacles: len(obstacles),
+				Modules:   pos,
+				Binaries:  len(built.Model.Ints),
+				Nodes:     mres.Nodes,
+				LPIters:   mres.LPIters,
+				Status:    mres.Status,
+				Gap:       mres.Gap(),
+				Height:    stepHeight,
+				Elapsed:   time.Since(stepStart),
+				Relaxed:   relaxed,
+			})
+			c.Obs.Emit(obs.Event{
+				Kind: obs.KindStepDone, Step: step, Status: mres.Status.String(),
+				Modules: e, Nodes: mres.Nodes, Iters: mres.LPIters,
+				Obj: mres.Objective, Height: stepHeight, Relaxed: relaxed,
+				DurUS: time.Since(stepStart).Microseconds(),
+			})
+		})
+		if stop {
+			return stepRes, stepErr
 		}
-		stepHeight := geom.NewSkyline(envs).MaxHeight()
-		res.Steps = append(res.Steps, StepTrace{
-			Step:      step,
-			Added:     append([]int(nil), group...),
-			Obstacles: len(obstacles),
-			Modules:   pos,
-			Binaries:  len(built.Model.Ints),
-			Nodes:     mres.Nodes,
-			LPIters:   mres.LPIters,
-			Status:    mres.Status,
-			Gap:       mres.Gap(),
-			Height:    stepHeight,
-			Elapsed:   time.Since(stepStart),
-			Relaxed:   relaxed,
-		})
-		c.Obs.Emit(obs.Event{
-			Kind: obs.KindStepDone, Step: step, Status: mres.Status.String(),
-			Modules: e, Nodes: mres.Nodes, Iters: mres.LPIters,
-			Obj: mres.Objective, Height: stepHeight, Relaxed: relaxed,
-			DurUS: time.Since(stepStart).Microseconds(),
-		})
 		pos += e
 		step++
 	}
@@ -406,7 +439,11 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 		if iters < 1 {
 			iters = 1
 		}
-		opt, err := AdjustFloorplanCtx(ctx, d, res, c, iters)
+		var opt *Result
+		var err error
+		c.Obs.Do(ctx, "adjust", obs.SpanAttrs{Step: iters}, func(ctx context.Context) {
+			opt, err = AdjustFloorplanCtx(ctx, d, res, c, iters)
+		})
 		if err != nil {
 			if ctx.Err() != nil {
 				// The adjustment LP was cut off: the un-adjusted floorplan is
@@ -424,11 +461,14 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 
 // presolve runs the geometric presolve pass on a built subproblem unless
 // disabled, reporting the reductions through the observer.
-func (c *Config) presolve(built *mipmodel.Built, step int) {
+func (c *Config) presolve(ctx context.Context, built *mipmodel.Built, step int) {
 	if c.NoPresolve {
 		return
 	}
-	st := built.Presolve()
+	var st mipmodel.PresolveStats
+	c.Obs.Do(ctx, "presolve", obs.SpanAttrs{Step: step, Detail: "model"}, func(context.Context) {
+		st = built.Presolve()
+	})
 	if c.Obs.Enabled() {
 		c.Obs.Emit(obs.Event{
 			Kind: obs.KindPresolve, Detail: "model", Step: step,

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"afp/internal/netlist"
+	"afp/internal/obs"
 )
 
 // SweepResult is the outcome of one width trial of FloorplanBestWidth.
@@ -33,7 +34,15 @@ func FloorplanBestWidth(d *netlist.Design, cfg Config, factors []float64) (*Resu
 // Trials cut off mid-augmentation carry their partial result and
 // ctx.Err(); the best completed trial still wins when one exists,
 // otherwise the context error is surfaced.
-func FloorplanBestWidthCtx(ctx context.Context, d *netlist.Design, cfg Config, factors []float64) (*Result, []SweepResult, error) {
+func FloorplanBestWidthCtx(ctx context.Context, d *netlist.Design, cfg Config, factors []float64) (res *Result, trials []SweepResult, err error) {
+	cfg.Obs.Do(ctx, "sweep", obs.SpanAttrs{Detail: d.Name}, func(ctx context.Context) {
+		res, trials, err = bestWidthCtx(ctx, d, cfg, factors)
+	})
+	return res, trials, err
+}
+
+// bestWidthCtx is the sweep proper, running inside the "sweep" span.
+func bestWidthCtx(ctx context.Context, d *netlist.Design, cfg Config, factors []float64) (*Result, []SweepResult, error) {
 	if len(factors) == 0 {
 		factors = []float64{0.9, 1.0, 1.1}
 	}
@@ -62,8 +71,10 @@ func FloorplanBestWidthCtx(ctx context.Context, d *netlist.Design, cfg Config, f
 			}
 			c := cfg
 			c.ChipWidth = base * f
-			r, err := FloorplanCtx(ctx, d, c)
-			trials[i] = SweepResult{Factor: f, Width: c.ChipWidth, Result: r, Err: err}
+			cfg.Obs.Do(ctx, "trial", obs.SpanAttrs{Worker: i + 1, Detail: fmt.Sprintf("w=%.4g", c.ChipWidth)}, func(ctx context.Context) {
+				r, err := FloorplanCtx(ctx, d, c)
+				trials[i] = SweepResult{Factor: f, Width: c.ChipWidth, Result: r, Err: err}
+			})
 		}(i, f)
 	}
 	wg.Wait()

@@ -11,8 +11,8 @@ func TestEqWithinEps(t *testing.T) {
 		want bool
 	}{
 		{1, 1, true},
-		{1, 1 + 1e-10, true},  // inside Eps
-		{1, 1 + 1e-6, false},  // outside Eps
+		{1, 1 + 1e-10, true}, // inside Eps
+		{1, 1 + 1e-6, false}, // outside Eps
 		{-2, -2 - 1e-10, true},
 		{0, 1e-8, false},
 		{math.Inf(1), math.Inf(1), false}, // Inf-Inf is NaN: Eq is for finite values

@@ -299,6 +299,7 @@ func (inc *Incremental) SolveCtx(ctx context.Context) (*Solution, error) {
 			Kind: obs.KindLPSolve, Status: st.String(), Obj: sol.Objective,
 			Iters: sol.Iterations, Degenerate: inc.solveDegen,
 			DurUS: time.Since(start).Microseconds(), Warm: true,
+			Span: obs.SpanID(ctx),
 		})
 	}
 	return sol, nil

@@ -70,6 +70,12 @@ type tableau struct {
 // with ctx.Err().
 func solveSimplex(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 	start := time.Now()
+	var spanID int64
+	if opt.Obs.Enabled() {
+		// Link this solve's lp.solve event to the enclosing span (the
+		// branch-and-bound dive or adjustment round that paid for it).
+		spanID = obs.SpanID(ctx)
+	}
 	maxIter := opt.MaxIter
 	if maxIter <= 0 {
 		maxIter = defaultMaxIter
@@ -205,12 +211,12 @@ func solveSimplex(ctx context.Context, p *Problem, opt Options) (*Solution, erro
 		}
 		if st == StatusIterLimit {
 			sol := &Solution{Status: StatusIterLimit, X: tb.extract(p), Iterations: tb.iter}
-			finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start))
+			finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start), spanID)
 			return sol, nil
 		}
 		if tb.phaseObjective() > feasTol*(1+absMax(rhs)) {
 			sol := &Solution{Status: StatusInfeasible, X: tb.extract(p), Iterations: tb.iter}
-			finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start))
+			finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start), spanID)
 			return sol, nil
 		}
 		tb.driveOutArtificials()
@@ -247,13 +253,13 @@ func solveSimplex(ctx context.Context, p *Problem, opt Options) (*Solution, erro
 	if st == StatusOptimal {
 		sol.Duals, sol.ReducedCosts = tb.duals(p, slackCol, artCol, negated, sign)
 	}
-	finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start))
+	finishSolve(opt, sol, tb, p1Iters, p1Dur, time.Since(start), spanID)
 	return sol, nil
 }
 
 // finishSolve copies the tableau's telemetry counters into the solution
 // and emits the per-solve lp.solve event when an observer is attached.
-func finishSolve(opt Options, sol *Solution, tb *tableau, p1Iters int, p1Dur, total time.Duration) {
+func finishSolve(opt Options, sol *Solution, tb *tableau, p1Iters int, p1Dur, total time.Duration, spanID int64) {
 	sol.Phase1Iterations = p1Iters
 	sol.DegeneratePivots = tb.degen
 	sol.BoundFlips = tb.flips
@@ -263,6 +269,7 @@ func finishSolve(opt Options, sol *Solution, tb *tableau, p1Iters int, p1Dur, to
 			Iters: sol.Iterations, Phase1Iters: p1Iters,
 			Degenerate: tb.degen, BoundFlips: tb.flips,
 			DurUS: total.Microseconds(), Phase1US: p1Dur.Microseconds(),
+			Span: spanID,
 		})
 	}
 }

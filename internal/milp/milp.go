@@ -302,7 +302,10 @@ func SolveCtx(ctx context.Context, m *Model, opt Options) *Result {
 	}
 	if opt.Presolve {
 		q := m.P.Clone()
-		tightened, fixed := q.PropagateBounds(m.Ints, 0)
+		var tightened, fixed int
+		opt.Obs.Do(ctx, "presolve", obs.SpanAttrs{Detail: "propagate"}, func(context.Context) {
+			tightened, fixed = q.PropagateBounds(m.Ints, 0)
+		})
 		if opt.Obs.Enabled() {
 			opt.Obs.Emit(obs.Event{
 				Kind: obs.KindPresolve, Detail: "propagate",
@@ -315,36 +318,41 @@ func SolveCtx(ctx context.Context, m *Model, opt Options) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > 1 && len(m.Ints) > 0 {
-		return solveParallel(ctx, m, opt, workers)
-	}
-	s := &solver{
-		m:            m,
-		opt:          opt,
-		ctx:          ctx,
-		work:         m.P.Clone(),
-		sign:         1,
-		incumbentObj: math.Inf(1),
-		o:            opt.Obs,
-		start:        time.Now(),
-		probeGap:     opt.ProgressEvery,
-		psUp:         make([]float64, len(m.Ints)),
-		psDown:       make([]float64, len(m.Ints)),
-		psUpN:        make([]int, len(m.Ints)),
-		psDownN:      make([]int, len(m.Ints)),
-	}
-	if m.P.Maximizing() {
-		s.sign = -1
-	}
-	if opt.TimeLimit > 0 {
-		s.deadline = time.Now().Add(opt.TimeLimit)
-	}
-	if opt.WarmStart {
-		if inc, err := lp.NewIncremental(s.work, opt.LP); err == nil {
-			s.inc = inc
+	var res *Result
+	opt.Obs.Do(ctx, "bb", obs.SpanAttrs{Worker: workers}, func(ctx context.Context) {
+		if workers > 1 && len(m.Ints) > 0 {
+			res = solveParallel(ctx, m, opt, workers)
+			return
 		}
-	}
-	return s.run()
+		s := &solver{
+			m:            m,
+			opt:          opt,
+			ctx:          ctx,
+			work:         m.P.Clone(),
+			sign:         1,
+			incumbentObj: math.Inf(1),
+			o:            opt.Obs,
+			start:        time.Now(),
+			probeGap:     opt.ProgressEvery,
+			psUp:         make([]float64, len(m.Ints)),
+			psDown:       make([]float64, len(m.Ints)),
+			psUpN:        make([]int, len(m.Ints)),
+			psDownN:      make([]int, len(m.Ints)),
+		}
+		if m.P.Maximizing() {
+			s.sign = -1
+		}
+		if opt.TimeLimit > 0 {
+			s.deadline = time.Now().Add(opt.TimeLimit)
+		}
+		if opt.WarmStart {
+			if inc, err := lp.NewIncremental(s.work, opt.LP); err == nil {
+				s.inc = inc
+			}
+		}
+		res = s.run()
+	})
+	return res
 }
 
 func (s *solver) timeUp() bool {

@@ -43,8 +43,8 @@ func (h nodeHeap) Less(i, j int) bool {
 	}
 	return h[i].id < h[j].id
 }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() any {
 	old := *h
 	n := old[len(old)-1]
@@ -70,8 +70,8 @@ type psolver struct {
 	cond          *sync.Cond
 	pool          nodeHeap
 	idle          int
-	stopped       bool    // drain: limit, cancellation, exhaustion or root unbounded
-	hitLimit      bool    // stop was a limit/cancellation, not exhaustion
+	stopped       bool // drain: limit, cancellation, exhaustion or root unbounded
+	hitLimit      bool // stop was a limit/cancellation, not exhaustion
 	rootUnbounded bool
 	abortFold     float64 // min bound over nodes whose LP was aborted mid-solve
 
@@ -94,7 +94,8 @@ type psolver struct {
 // clone or a cloned warm-start basis, never shared with other workers.
 type pworker struct {
 	ps   *psolver
-	id   int // 1-based
+	id   int             // 1-based
+	ctx  context.Context // carries the worker's span; LP solves link to it
 	work *lp.Problem     // cold path: private clone whose bounds we mutate
 	inc  *lp.Incremental // warm path: private basis over a shared immutable problem
 }
@@ -146,7 +147,7 @@ func solveParallel(ctx context.Context, m *Model, opt Options, workers int) *Res
 	}
 	pws := make([]*pworker, workers)
 	for i := range pws {
-		pw := &pworker{ps: ps, id: i + 1}
+		pw := &pworker{ps: ps, id: i + 1, ctx: ctx}
 		switch {
 		case proto != nil && i == 0:
 			pw.inc = proto
@@ -182,7 +183,10 @@ func solveParallel(ctx context.Context, m *Model, opt Options, workers int) *Res
 		wg.Add(1)
 		go func(pw *pworker) {
 			defer wg.Done()
-			pw.run(rootLo, rootHi)
+			ps.o.Do(ctx, "bb.worker", obs.SpanAttrs{Worker: pw.id}, func(ctx context.Context) {
+				pw.ctx = ctx
+				pw.run(rootLo, rootHi)
+			})
 		}(pw)
 	}
 	wg.Wait()
@@ -432,9 +436,9 @@ func (pw *pworker) solveLP() (*lp.Solution, float64) {
 	var sol *lp.Solution
 	var err error
 	if pw.inc != nil {
-		sol, err = pw.inc.SolveCtx(pw.ps.ctx)
+		sol, err = pw.inc.SolveCtx(pw.ctx)
 	} else {
-		sol, err = pw.work.SolveCtx(pw.ps.ctx, pw.ps.opt.LP)
+		sol, err = pw.work.SolveCtx(pw.ctx, pw.ps.opt.LP)
 	}
 	if err != nil {
 		return nil, math.Inf(1)

@@ -20,12 +20,15 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -173,6 +176,15 @@ type Event struct {
 	Warm bool `json:"warm,omitempty"`
 	// Relaxed marks a step whose critical-net constraints were dropped.
 	Relaxed bool `json:"relaxed,omitempty"`
+
+	// Span is the span id: the span itself for span.start/span.end, the
+	// enclosing span for leaf events stamped with one (lp.solve).
+	Span int64 `json:"span,omitempty"`
+	// Parent is the parent span id of a span.start/span.end event; 0
+	// marks a root span.
+	Parent int64 `json:"parent,omitempty"`
+	// Name is the span name of a span.start/span.end event.
+	Name string `json:"name,omitempty"`
 }
 
 // Sink consumes events. Implementations must be safe for concurrent
@@ -187,8 +199,9 @@ type Sink interface {
 // a nil *Observer is a cheap no-op, so solver code calls methods
 // unconditionally.
 type Observer struct {
-	sink  Sink
-	start time.Time
+	sink    Sink
+	start   time.Time
+	spanSeq atomic.Int64 // span-id allocator (see span.go)
 }
 
 // New returns an observer forwarding to sink, or nil when sink is nil
@@ -232,11 +245,7 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 // root node's -Inf parent bound) are not representable in JSON and are
 // written as 0, i.e. omitted.
 func (s *JSONLWriter) Emit(e Event) {
-	e.Obj = finiteOrZero(e.Obj)
-	e.Bound = finiteOrZero(e.Bound)
-	e.Gap = finiteOrZero(e.Gap)
-	e.Height = finiteOrZero(e.Height)
-	e.Temp = finiteOrZero(e.Temp)
+	e = sanitizeEvent(e)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
@@ -252,6 +261,24 @@ func finiteOrZero(x float64) float64 {
 	return x
 }
 
+// sanitizeEvent zeroes the non-finite float fields JSON cannot carry.
+func sanitizeEvent(e Event) Event {
+	e.Obj = finiteOrZero(e.Obj)
+	e.Bound = finiteOrZero(e.Bound)
+	e.Gap = finiteOrZero(e.Gap)
+	e.Height = finiteOrZero(e.Height)
+	e.Temp = finiteOrZero(e.Temp)
+	return e
+}
+
+// MarshalEvent encodes one event as a single JSON object (no trailing
+// newline) with the same non-finite-float handling as JSONLWriter, so
+// SSE frames and JSONL trace lines decode identically.
+func MarshalEvent(e Event) ([]byte, error) {
+	e = sanitizeEvent(e)
+	return json.Marshal(&e)
+}
+
 // Err returns the first write error, if any.
 func (s *JSONLWriter) Err() error {
 	s.mu.Lock()
@@ -259,19 +286,40 @@ func (s *JSONLWriter) Err() error {
 	return s.err
 }
 
-// ReadJSONL decodes a JSONL trace produced by JSONLWriter.
+// ReadJSONL decodes a JSONL trace produced by JSONLWriter. Blank lines
+// are skipped; a malformed line fails with its 1-based line number and a
+// truncated excerpt, so a corrupt multi-megabyte trace points at the
+// offending line instead of a byte offset.
 func ReadJSONL(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
 	var out []Event
-	for {
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
 		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return out, fmt.Errorf("obs: decoding trace event %d: %w", len(out), err)
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return out, fmt.Errorf("obs: trace line %d: %w (line: %s)", line, err, lineExcerpt(raw))
 		}
 		out = append(out, e)
 	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: reading trace after line %d: %w", line, err)
+	}
+	return out, nil
+}
+
+// lineExcerpt truncates a trace line for error messages.
+func lineExcerpt(b []byte) string {
+	const max = 80
+	if len(b) <= max {
+		return string(b)
+	}
+	return string(b[:max-3]) + "..."
 }
 
 // Recorder is an in-memory Sink for tests and programmatic analysis.
@@ -338,7 +386,8 @@ func NewLogSink(w io.Writer) *LogSink { return &LogSink{w: w} }
 func (s *LogSink) Emit(e Event) {
 	if !s.All {
 		switch e.Kind {
-		case KindNodeOpen, KindNodeClose, KindNodePrune, KindLPSolve:
+		case KindNodeOpen, KindNodeClose, KindNodePrune, KindLPSolve,
+			KindSpanStart, KindSpanEnd:
 			return
 		}
 	}
@@ -422,6 +471,7 @@ type Metrics struct {
 	counters map[string]int64
 	timers   map[string]time.Duration
 	gauges   map[string]float64
+	hists    map[string]*histogram
 }
 
 // Count adds n to the named counter.
@@ -506,7 +556,10 @@ func (m *Metrics) Counter(name string) int64 {
 }
 
 // Snapshot returns a stable, flat view: counters and gauges under their
-// own names, timers as "<name>_ms" in milliseconds.
+// own names, timers as "<name>_ms" in milliseconds, histograms as
+// "<name>_count" / "<name>_sum" / "<name>_p50" / "<name>_p99" summary
+// scalars (the full bucket vectors are served by Histograms and the
+// Prometheus writer).
 func (m *Metrics) Snapshot() map[string]float64 {
 	out := make(map[string]float64)
 	if m == nil {
@@ -522,6 +575,13 @@ func (m *Metrics) Snapshot() map[string]float64 {
 	}
 	for k, v := range m.gauges {
 		out[k] = v
+	}
+	for k, h := range m.hists {
+		snap := HistogramSnapshot{Buckets: h.buckets, Counts: h.counts, Count: h.count, Sum: h.sum}
+		out[k+"_count"] = float64(h.count)
+		out[k+"_sum"] = h.sum
+		out[k+"_p50"] = snap.Quantile(0.50)
+		out[k+"_p99"] = snap.Quantile(0.99)
 	}
 	return out
 }

@@ -80,8 +80,33 @@ func TestJSONLRoundTrip(t *testing.T) {
 }
 
 func TestReadJSONLBadInput(t *testing.T) {
-	if _, err := ReadJSONL(strings.NewReader("{\"kind\":\"x\"}\nnot-json\n")); err == nil {
+	_, err := ReadJSONL(strings.NewReader("{\"kind\":\"x\"}\nnot-json\n"))
+	if err == nil {
 		t.Fatal("expected decode error")
+	}
+	// The error must locate the offending line (1-based) and excerpt it.
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "not-json") {
+		t.Fatalf("error lacks position/excerpt: %v", err)
+	}
+
+	longLine := "{" + strings.Repeat("x", 200)
+	_, err = ReadJSONL(strings.NewReader(longLine + "\n"))
+	if err == nil {
+		t.Fatal("expected decode error")
+	}
+	if !strings.Contains(err.Error(), "...") || len(err.Error()) > 200 {
+		t.Fatalf("long line not truncated in error: %v", err)
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	in := "\n{\"kind\":\"node.open\",\"node\":1}\n   \n\n{\"kind\":\"node.close\",\"node\":1}\n\n"
+	got, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != KindNodeOpen || got[1].Kind != KindNodeClose {
+		t.Fatalf("decoded %+v, want the two events with blanks skipped", got)
 	}
 }
 
@@ -131,7 +156,7 @@ func TestMultiAndLogSink(t *testing.T) {
 	var buf bytes.Buffer
 	rec := &Recorder{}
 	o := New(Multi(nil, rec, NewLogSink(&buf)))
-	o.Emit(Event{Kind: KindNodeOpen, Node: 1})                            // suppressed by LogSink
+	o.Emit(Event{Kind: KindNodeOpen, Node: 1})                                 // suppressed by LogSink
 	o.Emit(Event{Kind: KindStepDone, Step: 1, Status: "optimal", Height: 8.5}) //nolint
 	o.Emit(Event{Kind: KindAnnealTemp, Temp: 2.5, Accepted: 3, Attempted: 9})
 	if rec.CountKind(KindNodeOpen) != 1 {

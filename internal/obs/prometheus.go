@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format version 0.0.4 written by WritePrometheus.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as <name>_total, accumulated timers
+// as <name>_seconds_total, gauges under their own name and histograms
+// with the standard cumulative _bucket{le="..."} / _sum / _count series.
+// Families are emitted in sorted exposition-name order with one # TYPE
+// line each, so the output is deterministic and diffable.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	type family struct {
+		name string
+		typ  string
+		body func(io.Writer, string) error
+	}
+	var fams []family
+
+	if m != nil {
+		m.mu.Lock()
+		for k, v := range m.counters {
+			v := v
+			fams = append(fams, family{promName(k) + "_total", "counter", func(w io.Writer, n string) error {
+				_, err := fmt.Fprintf(w, "%s %s\n", n, promFloat(float64(v)))
+				return err
+			}})
+		}
+		for k, v := range m.timers {
+			secs := v.Seconds()
+			fams = append(fams, family{promName(k) + "_seconds_total", "counter", func(w io.Writer, n string) error {
+				_, err := fmt.Fprintf(w, "%s %s\n", n, promFloat(secs))
+				return err
+			}})
+		}
+		for k, v := range m.gauges {
+			v := v
+			fams = append(fams, family{promName(k), "gauge", func(w io.Writer, n string) error {
+				_, err := fmt.Fprintf(w, "%s %s\n", n, promFloat(v))
+				return err
+			}})
+		}
+		for k, h := range m.hists {
+			snap := HistogramSnapshot{
+				Buckets: h.buckets,
+				Counts:  append([]int64(nil), h.counts...),
+				Count:   h.count,
+				Sum:     h.sum,
+			}
+			fams = append(fams, family{promName(k), "histogram", func(w io.Writer, n string) error {
+				var cum int64
+				for i, ub := range snap.Buckets {
+					cum += snap.Counts[i]
+					if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(ub), cum); err != nil {
+						return err
+					}
+				}
+				cum += snap.Counts[len(snap.Buckets)]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum %s\n", n, promFloat(snap.Sum)); err != nil {
+					return err
+				}
+				_, err := fmt.Fprintf(w, "%s_count %d\n", n, snap.Count)
+				return err
+			}})
+		}
+		m.mu.Unlock()
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		if err := f.body(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value; the exposition format uses Go's
+// shortest-round-trip decimal form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -54,13 +54,16 @@ func main() {
 
 	kinds := kindConstants(parsed)
 	schema := map[string]map[string]bool{}
+	spans := map[string]bool{}
+	hists := map[string]bool{}
 	for _, af := range parsed {
 		scanFile(af, kinds, schema)
+		scanNames(af, spans, hists)
 	}
 	if len(schema) == 0 {
 		log.Fatal("no obs.Event emit sites found")
 	}
-	if err := os.WriteFile(*out, render(schema), 0o644); err != nil {
+	if err := os.WriteFile(*out, render(schema, spans, hists), 0o644); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -189,6 +192,41 @@ func scanFunc(body *ast.BlockStmt, kinds map[string]string, schema map[string]ma
 	})
 }
 
+// scanNames collects the span names opened anywhere in the repository
+// (StartSpan / StartSpanAttrs / Do call sites with a literal name) and
+// the histogram names observed (Metrics.Observe call sites with a
+// literal name). Like the Event scan this is syntactic: the method name
+// and arity identify the call, the string literal identifies the name.
+// pprof.Do and sync.Once.Do are skipped naturally — their argument at
+// the name position is not a string literal.
+func scanNames(af *ast.File, spans, hists map[string]bool) {
+	ast.Inspect(af, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "StartSpan", "StartSpanAttrs", "Do":
+			if len(call.Args) >= 2 {
+				if s, ok := stringLit(call.Args[1]); ok {
+					spans[s] = true
+				}
+			}
+		case "Observe":
+			if len(call.Args) == 2 {
+				if s, ok := stringLit(call.Args[0]); ok {
+					hists[s] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
 func isEventType(e ast.Expr) bool {
 	switch t := e.(type) {
 	case *ast.Ident:
@@ -239,7 +277,7 @@ func addFields(schema map[string]map[string]bool, kind string, fields []string) 
 	}
 }
 
-func render(schema map[string]map[string]bool) []byte {
+func render(schema map[string]map[string]bool, spans, hists map[string]bool) []byte {
 	kinds := make([]string, 0, len(schema))
 	for k := range schema {
 		kinds = append(kinds, k)
@@ -269,10 +307,38 @@ func render(schema map[string]map[string]bool) []byte {
 		}
 		buf.WriteString("},\n")
 	}
+	buf.WriteString("}\n\n")
+
+	buf.WriteString("// SpanNames is the registry of span names opened anywhere in the\n")
+	buf.WriteString("// repository (StartSpan / StartSpanAttrs / Observer.Do sites with a\n")
+	buf.WriteString("// literal name). The obsevent analyzer checks span-open sites against\n")
+	buf.WriteString("// it at vet time.\n")
+	buf.WriteString("var SpanNames = map[string]bool{\n")
+	for _, s := range sortedKeys(spans) {
+		fmt.Fprintf(&buf, "\t%q: true,\n", s)
+	}
+	buf.WriteString("}\n\n")
+
+	buf.WriteString("// HistogramNames is the registry of histogram metric names observed\n")
+	buf.WriteString("// anywhere in the repository (Metrics.Observe sites with a literal\n")
+	buf.WriteString("// name). The obsevent analyzer checks Observe sites against it.\n")
+	buf.WriteString("var HistogramNames = map[string]bool{\n")
+	for _, s := range sortedKeys(hists) {
+		fmt.Fprintf(&buf, "\t%q: true,\n", s)
+	}
 	buf.WriteString("}\n")
 	src, err := format.Source(buf.Bytes())
 	if err != nil {
 		log.Fatalf("formatting generated schema: %v", err)
 	}
 	return src
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

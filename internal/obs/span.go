@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Span kinds. A span is a timed region of a solve, emitted as a paired
+// span.start / span.end so a flat JSONL trace reconstructs into a timing
+// tree (solve → step → bb → bb.worker), with lp.solve events linked to
+// their enclosing span through the Event.Span field.
+const (
+	// KindSpanStart opens a span: Name is the span name, Span its id
+	// (unique within one Observer), Parent the enclosing span's id (0 for
+	// a root span). Step/Worker/Detail carry optional attributes.
+	KindSpanStart Kind = "span.start"
+	// KindSpanEnd closes a span; DurUS is its duration.
+	KindSpanEnd Kind = "span.end"
+)
+
+// Span is one timed region of a solve. Spans form a tree: a span started
+// while another span's context is active becomes its child. Spans are
+// created by Observer.StartSpan (or the Do wrapper) and closed exactly
+// once by End; the nil *Span is a no-op, so span calls need no guards on
+// disabled observers.
+type Span struct {
+	o      *Observer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	ended  atomic.Bool
+}
+
+// SpanAttrs are the optional attributes of a span.start event.
+type SpanAttrs struct {
+	// Step is the augmentation step the span belongs to.
+	Step int
+	// Worker is the 1-based branch-and-bound worker running the span.
+	Worker int
+	// Detail is a free-form discriminator (design name, presolve pass).
+	Detail string
+}
+
+// spanKey keys the active span in a context.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the active span. A nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// SpanID returns the id of the active span carried by ctx, or 0 when no
+// span is active. Solver layers stamp it onto their leaf events (e.g.
+// lp.solve) so trace analysis can attribute leaf time to the tree.
+func SpanID(ctx context.Context) int64 {
+	return SpanFromContext(ctx).ID()
+}
+
+// ID returns the span's id; 0 on nil.
+func (sp *Span) ID() int64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.id
+}
+
+// StartSpan opens a span named name as a child of the span active in
+// ctx, emits its span.start event and returns ctx with the new span
+// active. On a disabled observer it returns ctx unchanged and a nil span.
+func (o *Observer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return o.StartSpanAttrs(ctx, name, SpanAttrs{})
+}
+
+// StartSpanAttrs is StartSpan with attributes on the span.start event.
+func (o *Observer) StartSpanAttrs(ctx context.Context, name string, a SpanAttrs) (context.Context, *Span) {
+	if o == nil || o.sink == nil {
+		return ctx, nil
+	}
+	sp := &Span{o: o, id: o.spanSeq.Add(1), name: name, start: time.Now()}
+	sp.parent = SpanFromContext(ctx).ID()
+	o.Emit(Event{
+		Kind: KindSpanStart, Name: name, Span: sp.id, Parent: sp.parent,
+		Step: a.Step, Worker: a.Worker, Detail: a.Detail,
+	})
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// End closes the span, emitting its span.end event with the measured
+// duration. End is idempotent and safe on nil, so callers may defer it
+// unconditionally.
+func (sp *Span) End() {
+	if sp == nil || !sp.ended.CompareAndSwap(false, true) {
+		return
+	}
+	sp.o.Emit(Event{
+		Kind: KindSpanEnd, Name: sp.name, Span: sp.id, Parent: sp.parent,
+		DurUS: time.Since(sp.start).Microseconds(),
+	})
+}
+
+// Do runs f inside a span named name and a pprof label span=name
+// (runtime/pprof.Do), so CPU profiles segment by solve phase exactly
+// where traces do. On a disabled observer f runs directly: no span, no
+// labels, no allocation.
+func (o *Observer) Do(ctx context.Context, name string, a SpanAttrs, f func(context.Context)) {
+	if o == nil || o.sink == nil {
+		f(ctx)
+		return
+	}
+	ctx, sp := o.StartSpanAttrs(ctx, name, a)
+	defer sp.End()
+	pprof.Do(ctx, pprof.Labels("span", name), f)
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSpanTreeEmission(t *testing.T) {
+	rec := &Recorder{}
+	o := New(rec)
+	ctx := context.Background()
+
+	rootCtx, root := o.StartSpanAttrs(ctx, "solve", SpanAttrs{Detail: "ami33"})
+	if root == nil || root.ID() == 0 {
+		t.Fatal("root span not created")
+	}
+	if SpanID(rootCtx) != root.ID() {
+		t.Fatal("context does not carry the root span")
+	}
+	childCtx, child := o.StartSpanAttrs(rootCtx, "step", SpanAttrs{Step: 3})
+	if SpanFromContext(childCtx) != child {
+		t.Fatal("context does not carry the child span")
+	}
+	child.End()
+	child.End() // idempotent: must not emit a second span.end
+	root.End()
+
+	starts := rec.Events()
+	var open, closed []Event
+	for _, e := range starts {
+		switch e.Kind {
+		case KindSpanStart:
+			open = append(open, e)
+		case KindSpanEnd:
+			closed = append(closed, e)
+		}
+	}
+	if len(open) != 2 || len(closed) != 2 {
+		t.Fatalf("got %d span.start / %d span.end, want 2/2", len(open), len(closed))
+	}
+	if open[0].Name != "solve" || open[0].Parent != 0 || open[0].Detail != "ami33" {
+		t.Errorf("root start: %+v", open[0])
+	}
+	if open[1].Name != "step" || open[1].Parent != root.ID() || open[1].Step != 3 {
+		t.Errorf("child start: %+v", open[1])
+	}
+	if closed[0].Name != "step" || closed[0].Span != child.ID() || closed[0].DurUS < 0 {
+		t.Errorf("child end: %+v", closed[0])
+	}
+	if closed[1].Name != "solve" {
+		t.Errorf("root end: %+v", closed[1])
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var o *Observer
+	ctx := context.Background()
+	gotCtx, sp := o.StartSpan(ctx, "solve")
+	if sp != nil || gotCtx != ctx {
+		t.Fatal("disabled observer must return nil span and the original ctx")
+	}
+	sp.End() // no-op on nil
+	if SpanID(ctx) != 0 {
+		t.Fatal("empty context must report span id 0")
+	}
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Fatal("ContextWithSpan(nil) must return ctx unchanged")
+	}
+
+	ran := false
+	o.Do(ctx, "solve", SpanAttrs{}, func(inner context.Context) {
+		ran = true
+		if inner != ctx {
+			t.Error("disabled Do must pass ctx through unchanged")
+		}
+	})
+	if !ran {
+		t.Fatal("disabled Do did not run f")
+	}
+}
+
+func TestObserverDo(t *testing.T) {
+	rec := &Recorder{}
+	o := New(rec)
+	var innerID int64
+	o.Do(context.Background(), "bb", SpanAttrs{Worker: 2}, func(ctx context.Context) {
+		innerID = SpanID(ctx)
+		if innerID == 0 {
+			t.Error("Do must run f under its span")
+		}
+	})
+	if rec.CountKind(KindSpanStart) != 1 || rec.CountKind(KindSpanEnd) != 1 {
+		t.Fatalf("Do emitted %d starts / %d ends, want 1/1",
+			rec.CountKind(KindSpanStart), rec.CountKind(KindSpanEnd))
+	}
+	end, _ := rec.LastKind(KindSpanEnd)
+	if end.Span != innerID || end.Name != "bb" {
+		t.Errorf("span.end = %+v, want span %d name bb", end, innerID)
+	}
+	start, _ := rec.LastKind(KindSpanStart)
+	if start.Worker != 2 {
+		t.Errorf("span.start worker = %d, want 2", start.Worker)
+	}
+}
+
+// TestSpanEventsValidate pins the generated registry covering the span
+// kinds: a span emitted by the real implementation must pass the same
+// runtime validation solver events do.
+func TestSpanEventsValidate(t *testing.T) {
+	rec := &Recorder{}
+	o := New(rec)
+	ctx, sp := o.StartSpanAttrs(context.Background(), "solve", SpanAttrs{Step: 1, Worker: 2, Detail: "d"})
+	_, child := o.StartSpan(ctx, "step")
+	child.End()
+	sp.End()
+	for _, e := range rec.Events() {
+		if err := ValidateEvent(e); err != nil {
+			t.Errorf("span event fails schema: %v (%+v)", err, e)
+		}
+	}
+}

@@ -271,3 +271,12 @@ func (s *store) active() []*Job {
 	}
 	return out
 }
+
+// runningSince returns when the job started running, and whether it is
+// currently running (started and not yet terminal). Utilization
+// accounting uses it to credit in-flight solve time.
+func (j *Job) runningSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started, j.state == StateRunning
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +30,9 @@ type Config struct {
 	// Sink optionally mirrors every job's telemetry to a shared sink
 	// (e.g. a server-wide JSONL trace or stderr log).
 	Sink obs.Sink
+	// SSEHeartbeat is the comment-frame interval keeping idle
+	// /v1/jobs/{id}/events streams alive; 0 means 15s.
+	SSEHeartbeat time.Duration
 }
 
 // Server is the floorplan solver service. Create with New, mount
@@ -93,10 +97,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.observeRequests(mux)
+}
+
+// observeRequests records every request's wall time into the
+// http_request_us histogram. Long-lived SSE streams land in the overflow
+// bucket by design — the histogram answers "how slow are the control
+// endpoints", and streams are visible separately via sse_clients.
+func (s *Server) observeRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.metrics.Observe("http_request_us", float64(time.Since(start).Microseconds()))
+	})
 }
 
 // Shutdown drains the service: new submissions are rejected, queued and
@@ -269,17 +286,60 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// Aggregate worker utilization: cumulative solve wall-clock over the
-	// pool's total capacity since start, as a percentage. In-flight jobs
-	// contribute once they finish (the solve timer accumulates at job
-	// end), so this is a trailing aggregate, not an instantaneous load.
-	if capacity := time.Since(s.started).Seconds() * float64(s.cfg.Workers); capacity > 0 {
-		busy := s.metrics.Snapshot()["solve_ms"] / 1000
-		s.metrics.SetGauge("worker_utilization_pct", 100*busy/capacity)
+	s.metrics.SetGauge("worker_utilization_pct", s.utilizationPct(time.Now()))
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = s.metrics.WritePrometheus(w)
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = s.metrics.WriteJSON(w)
+}
+
+// utilizationPct is aggregate worker utilization as a percentage of the
+// pool's capacity over the server's uptime: busy time is the cumulative
+// wall-clock of finished solves (the solve timer) plus the elapsed time
+// of every solve still running, so a server saturated by one long job
+// reports ~100/Workers% rather than 0. Clamped to [0,100] — the timer
+// granularity and the race between sampling now and the running set can
+// otherwise push a saturated pool epsilon over capacity.
+func (s *Server) utilizationPct(now time.Time) float64 {
+	capacity := now.Sub(s.started).Seconds() * float64(s.cfg.Workers)
+	if capacity <= 0 {
+		return 0
+	}
+	busy := s.metrics.Snapshot()["solve_ms"] / 1000
+	for _, j := range s.store.active() {
+		if since, running := j.runningSince(); running {
+			busy += now.Sub(since).Seconds()
+		}
+	}
+	pct := 100 * busy / capacity
+	if pct < 0 {
+		return 0
+	}
+	if pct > 100 {
+		return 100
+	}
+	return pct
+}
+
+// wantsPrometheus selects the text exposition format when the Accept
+// header asks for text/plain (as Prometheus scrapers do) and JSON stays
+// the default otherwise, so pre-existing JSON consumers are unaffected.
+func wantsPrometheus(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if mt == "text/plain" {
+			return true
+		}
+	}
+	return false
 }
 
 // errorBody is the uniform error envelope.

@@ -95,8 +95,17 @@ func (s *Server) runJob(j *Job) {
 		defer cancelT()
 	}
 
+	s.metrics.Observe("queue_wait_us", float64(j.started.Sub(j.created).Microseconds()))
+
 	start := time.Now()
-	res, err := solveInstance(ctx, j.Instance, s.jobWorkers(j.Instance.Opts.Workers), obs.New(obs.Multi(j.trace, s.sink)))
+	// The job's fan-out: the per-job trace buffer (replayed over SSE), the
+	// server-wide sink, and the histogram deriver feeding /metrics.
+	o := obs.New(obs.Multi(j.trace, s.sink, obs.MetricsSink{M: s.metrics}))
+	var res *core.Result
+	var err error
+	o.Do(ctx, "job", obs.SpanAttrs{Detail: j.Instance.Design.Name}, func(ctx context.Context) {
+		res, err = solveInstance(ctx, j.Instance, s.jobWorkers(j.Instance.Opts.Workers), o)
+	})
 	dur := time.Since(start)
 	s.metrics.Time("solve", dur)
 
@@ -176,6 +185,11 @@ func solveInstance(ctx context.Context, in *Instance, workers int, o *obs.Observ
 		cfg := in.coreConfig()
 		cfg.Workers = workers
 		cfg.Obs = o
+		if cfg.MILP.ProgressEvery == 0 {
+			// Service solves stream progress over SSE: probe the gap often
+			// enough that watchers see bound convergence within a node batch.
+			cfg.MILP.ProgressEvery = 128
+		}
 		return core.FloorplanCtx(ctx, in.Design, cfg)
 	}
 }

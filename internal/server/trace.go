@@ -13,22 +13,42 @@ import (
 // reached further events are counted but dropped — a runaway solve must
 // not grow server memory without bound — and the truncation is made
 // visible by a final synthetic "trace.truncated" line on output.
+//
+// It doubles as the fan-out point for live SSE followers: subscribe
+// atomically snapshots the retained prefix and registers a channel that
+// receives every later event, so a follower sees each event exactly once
+// (no gap, no duplicate) regardless of when it attaches. Live fan-out is
+// not subject to the retention cap: a follower of a runaway solve still
+// sees the events the buffer drops.
 type traceBuffer struct {
 	mu      sync.Mutex
 	max     int
+	maxSubs int
 	events  []obs.Event
 	dropped int64
+	subs    map[*traceSub]struct{}
+}
+
+// traceSub is one live follower of a job's trace. Events are delivered
+// on ch with nonblocking sends: a follower that cannot keep up loses
+// events (counted in lost) instead of stalling the solver.
+type traceSub struct {
+	ch   chan obs.Event
+	lost int64 // guarded by the owning buffer's mu
 }
 
 // kindTruncated marks the synthetic closing event of a truncated trace;
 // its Nodes field carries the dropped-event count.
 const kindTruncated obs.Kind = "trace.truncated"
 
+// defaultMaxSubs bounds concurrent SSE followers per job.
+const defaultMaxSubs = 32
+
 func newTraceBuffer(max int) *traceBuffer {
 	if max <= 0 {
 		max = 10000
 	}
-	return &traceBuffer{max: max}
+	return &traceBuffer{max: max, maxSubs: defaultMaxSubs}
 }
 
 // Emit implements obs.Sink.
@@ -39,7 +59,47 @@ func (b *traceBuffer) Emit(e obs.Event) {
 	} else {
 		b.dropped++
 	}
+	for sub := range b.subs {
+		select {
+		case sub.ch <- e:
+		default:
+			sub.lost++
+		}
+	}
 	b.mu.Unlock()
+}
+
+// subscribe atomically snapshots the retained events and registers a
+// live follower with a buffered delivery channel, so replay-then-follow
+// over the pair misses nothing emitted in between. It fails when the
+// per-job follower cap is reached.
+func (b *traceBuffer) subscribe(buf int) ([]obs.Event, *traceSub, bool) {
+	if buf <= 0 {
+		buf = 256
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.subs) >= b.maxSubs {
+		return nil, nil, false
+	}
+	replay := make([]obs.Event, len(b.events))
+	copy(replay, b.events)
+	sub := &traceSub{ch: make(chan obs.Event, buf)}
+	if b.subs == nil {
+		b.subs = make(map[*traceSub]struct{})
+	}
+	b.subs[sub] = struct{}{}
+	return replay, sub, true
+}
+
+// unsubscribe detaches a follower; its channel is no longer written to
+// once unsubscribe returns. Returns how many events the follower lost
+// to back-pressure.
+func (b *traceBuffer) unsubscribe(sub *traceSub) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.subs, sub)
+	return sub.lost
 }
 
 // WriteJSONL writes the retained events as one JSON object per line,
