@@ -20,11 +20,11 @@ test:
 	$(GO) test ./...
 
 # cover prints a per-package coverage summary and enforces a 70% floor on
-# the static-analysis, model-builder and observability packages, whose
-# correctness the rest of the gate leans on.
+# the static-analysis, model-builder, observability and portfolio-racing
+# packages, whose correctness the rest of the gate leans on.
 cover:
 	$(GO) test -cover ./internal/... | tee cover.out
-	@awk '/^ok/ && ($$2 == "afp/internal/analysis" || $$2 == "afp/internal/mipmodel" || $$2 == "afp/internal/obs") { \
+	@awk '/^ok/ && ($$2 == "afp/internal/analysis" || $$2 == "afp/internal/mipmodel" || $$2 == "afp/internal/obs" || $$2 == "afp/internal/portfolio") { \
 		for (i = 1; i <= NF; i++) if ($$i ~ /^[0-9.]+%$$/) { pct = substr($$i, 1, length($$i)-1) + 0; \
 			if (pct < 70) { printf "cover: %s at %s%% is under the 70%% floor\n", $$2, pct; bad = 1 } \
 			else printf "cover: %s at %s%% meets the 70%% floor\n", $$2, pct } } \
@@ -36,7 +36,7 @@ cover:
 # solvers they observe, the model layer (presolve equivalence properties),
 # the width-sweep driver and the HTTP service.
 race:
-	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp ./internal/mipmodel ./internal/server ./internal/core
+	$(GO) test -race ./internal/obs ./internal/milp ./internal/lp ./internal/mipmodel ./internal/server ./internal/core ./internal/portfolio
 
 # generate-check fails when internal/obs/schema.go is stale: it
 # regenerates the event/span/histogram registries to a scratch path and
@@ -63,11 +63,12 @@ e2e:
 	$(GO) test -run 'CLI|E2E' -v .
 
 # bench runs the Table 1/Table 3 quick benches (including the serial vs
-# Workers=4 pairs) plus the presolve node-count ablation, and persists a
-# machine-readable BENCH_<utc-date>.json snapshot (ns/op, util%, LP
-# iters, nodes, speedups) via cmd/benchjson.
+# Workers=4 pairs) plus the presolve node-count ablation and the portfolio
+# race, and persists a machine-readable BENCH_<utc-date>.json snapshot
+# (ns/op, util%, LP iters, nodes, portfolio TTFF, speedups) via
+# cmd/benchjson.
 bench:
-	$(GO) test -bench='Table1|Table3|Presolve' -benchtime=1x -run=^$$ . > bench.out
+	$(GO) test -bench='Table1|Table3|Presolve|Portfolio' -benchtime=1x -run=^$$ . > bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -out BENCH_$$(date -u +%Y-%m-%d).json < bench.out
 	@rm -f bench.out

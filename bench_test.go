@@ -6,6 +6,7 @@
 package afp_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"afp/internal/milp"
 	"afp/internal/mipmodel"
 	"afp/internal/netlist"
+	"afp/internal/portfolio"
 	"afp/internal/route"
 )
 
@@ -312,6 +314,54 @@ func benchPresolve(b *testing.B, off bool) {
 
 func BenchmarkPresolveOn(b *testing.B)  { benchPresolve(b, false) }
 func BenchmarkPresolveOff(b *testing.B) { benchPresolve(b, true) }
+
+// --- Portfolio race (DESIGN.md section 13) --------------------------------
+
+// flex9Bench is the 9-module all-flexible presolve/linearize instance,
+// reused as the portfolio acceptance design.
+func flex9Bench() *netlist.Design {
+	d := &netlist.Design{Name: "flex"}
+	for i := 0; i < 9; i++ {
+		d.Modules = append(d.Modules, netlist.Module{
+			Name: string(rune('a' + i)), Kind: netlist.Flexible,
+			Area: 40 + 10*float64(i%3), MinAspect: 0.4, MaxAspect: 2.5,
+		})
+	}
+	return d
+}
+
+func benchPortfolio(b *testing.B, backends []string) {
+	d := flex9Bench()
+	cfg := core.Config{
+		GroupSize: 3,
+		MILP:      milp.Options{MaxNodes: 50000, TimeLimit: 30 * time.Second},
+		Workers:   1,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := portfolio.Solve(context.Background(), d, cfg, portfolio.Options{
+			Seed: int64(i + 1), Backends: backends,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TTFF.Microseconds())/1000, "portfolio_ttff_ms")
+		b.ReportMetric(res.Height, "height")
+		for _, bk := range res.Backends {
+			if bk.Name == "milp" {
+				// Racing node count; compare with BenchmarkPresolveOn's cold
+				// solve of the same design to see the incumbent pruning.
+				b.ReportMetric(float64(bk.Nodes), "nodes")
+			}
+		}
+	}
+}
+
+// The full race versus an anneal-alone control: the acceptance criterion
+// is that the race reaches first-feasible no later than anneal by itself
+// (the heuristics run unchanged inside the race) while finishing at the
+// milp-alone optimal height.
+func BenchmarkPortfolioRaceFlex9(b *testing.B)        { benchPortfolio(b, nil) }
+func BenchmarkPortfolioAnnealAloneFlex9(b *testing.B) { benchPortfolio(b, []string{"anneal"}) }
 
 // Exact (Section 2.3 single MILP) versus successive augmentation on a
 // small design: quantifies the suboptimality of the greedy decomposition.

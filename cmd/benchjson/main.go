@@ -48,6 +48,11 @@ type Snapshot struct {
 	// Speedups maps a WorkersN benchmark to its ns/op ratio versus the
 	// matching Workers1 run: >1 means the parallel search is faster.
 	Speedups map[string]float64 `json:"speedups,omitempty"`
+	// PortfolioTTFF collects the portfolio_ttff_ms metric (time to first
+	// verified feasible incumbent of a portfolio race, in milliseconds)
+	// across benchmarks, so snapshots track racing latency as a named
+	// series beside the per-benchmark metrics.
+	PortfolioTTFF map[string]float64 `json:"portfolio_ttff_ms,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(-(\d+))?\s+(\d+)\s+(.*)$`)
@@ -146,7 +151,22 @@ func parse(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
 	snap.Speedups = speedups(snap.Benchmarks)
+	snap.PortfolioTTFF = ttffSeries(snap.Benchmarks)
 	return snap, nil
+}
+
+// ttffSeries extracts the portfolio_ttff_ms metric by benchmark name.
+func ttffSeries(bs []Benchmark) map[string]float64 {
+	out := map[string]float64{}
+	for _, b := range bs {
+		if v, ok := b.Metrics["portfolio_ttff_ms"]; ok {
+			out[b.Name] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 var workersName = regexp.MustCompile(`^(.*)Workers(\d+)$`)

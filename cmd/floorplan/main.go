@@ -33,6 +33,7 @@ import (
 	"afp/internal/netlist"
 	"afp/internal/obs"
 	"afp/internal/order"
+	"afp/internal/portfolio"
 	"afp/internal/render"
 	"afp/internal/route"
 )
@@ -75,6 +76,8 @@ func run() error {
 		presolve  = flag.Bool("presolve", true, "tighten big-M coefficients and fix forced binaries before branch-and-bound")
 		verify    = flag.Bool("verify", false, "check the final floorplan for legality and exit non-zero on violations")
 		audit     = flag.Bool("audit", false, "statically audit every step's MILP before solving (defaults to the -verify setting)")
+		backend   = flag.String("backend", "", "solution paradigm: milp (default), portfolio (race all paradigms), anneal, seqpair or project")
+		race      = flag.String("portfolio", "", "comma-separated portfolio contestants to race (implies -backend=portfolio), e.g. milp,anneal,project")
 	)
 	flag.Parse()
 	// -audit follows -verify unless set explicitly: verified runs get the
@@ -177,10 +180,59 @@ func run() error {
 		return fmt.Errorf("unknown ordering %q", *ordering)
 	}
 
+	if *race != "" && *backend == "" {
+		*backend = "portfolio"
+	}
+
 	start := time.Now()
 	var r *core.Result
 	partial := false
-	if *sweep {
+	switch {
+	case *backend != "" && *backend != "milp":
+		if *sweep {
+			return fmt.Errorf("-sweep is incompatible with -backend=%s", *backend)
+		}
+		cfg.Backend = *backend
+		cfg.BackendSeed = *seed
+		if *backend == "portfolio" {
+			// Drive the race directly so the per-backend outcome table can
+			// be reported alongside the winning floorplan.
+			popts := portfolio.Options{Seed: *seed, Obs: observer}
+			if *race != "" {
+				popts.Backends = strings.Split(*race, ",")
+			}
+			var pres *portfolio.Result
+			pres, err = portfolio.Solve(ctx, d, cfg, popts)
+			if err != nil {
+				if pres == nil || pres.Result == nil || !isCtxErr(err) {
+					return err
+				}
+				partial = true
+				fmt.Fprintf(os.Stderr, "floorplan: race stopped early (%v); best incumbent follows\n", err)
+			}
+			r = pres.Result
+			fmt.Printf("portfolio: winner %s, TTFF %v, proven bound %.2f (%s), %d incumbents, %d rejected\n",
+				pres.Winner, pres.TTFF.Round(time.Microsecond), pres.Bound, pres.BoundSource,
+				len(pres.Incumbents), pres.Rejected)
+			for _, b := range pres.Backends {
+				h := "-"
+				if b.Published > 0 {
+					h = fmt.Sprintf("%.2f", b.Height)
+				}
+				fmt.Printf("  %-8s %-9s height %-8s published %-3d nodes %-6d wall %v\n",
+					b.Name, b.Outcome, h, b.Published, b.Nodes, b.Wall.Round(time.Millisecond))
+			}
+			break
+		}
+		r, err = core.FloorplanCtx(ctx, d, cfg)
+		if err != nil {
+			if r == nil || !isCtxErr(err) {
+				return err
+			}
+			partial = true
+			fmt.Fprintf(os.Stderr, "floorplan: stopped early (%v); best incumbent follows\n", err)
+		}
+	case *sweep:
 		var trials []core.SweepResult
 		r, trials, err = core.FloorplanBestWidthCtx(ctx, d, cfg, []float64{0.85, 0.95, 1.05, 1.15})
 		if err != nil {
@@ -194,7 +246,7 @@ func run() error {
 			fmt.Printf("  width %.1f: area %.0f (util %.1f%%)\n",
 				tr.Width, tr.Result.ChipArea(), 100*tr.Result.Utilization())
 		}
-	} else {
+	default:
 		r, err = core.FloorplanCtx(ctx, d, cfg)
 		if err != nil {
 			if r == nil || !isCtxErr(err) {
@@ -217,8 +269,12 @@ func run() error {
 
 	if *verbose {
 		for _, s := range r.Steps {
-			fmt.Printf("  step %d: +%d modules, %d obstacles, %d binaries, %d nodes, %v, height %.1f (%v)\n",
-				s.Step, len(s.Added), s.Obstacles, s.Binaries, s.Nodes, s.Status, s.Height, s.Elapsed.Round(time.Millisecond))
+			src := ""
+			if s.IncumbentSource != "" && s.IncumbentSource != "bb" {
+				src = ", incumbent " + s.IncumbentSource
+			}
+			fmt.Printf("  step %d: +%d modules, %d obstacles, %d binaries, %d nodes, %v, height %.1f (%v)%s\n",
+				s.Step, len(s.Added), s.Obstacles, s.Binaries, s.Nodes, s.Status, s.Height, s.Elapsed.Round(time.Millisecond), src)
 		}
 	}
 
@@ -241,6 +297,8 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "floorplan: violation:", v)
 			}
 			verifyErr = fmt.Errorf("verification failed: %d violation(s)", len(violations))
+		} else if r.Source != "" {
+			fmt.Printf("verified: floorplan is legal (source %s)\n", r.Source)
 		} else {
 			fmt.Println("verified: floorplan is legal")
 		}

@@ -38,6 +38,7 @@ func run(w io.Writer, args []string) error {
 		kinds  = fs.Bool("kinds", true, "print per-kind event counts")
 		rate   = fs.Bool("rate", true, "print the node-throughput table")
 		gap    = fs.Bool("gap", true, "print the gap-vs-time table")
+		pf     = fs.Bool("portfolio", true, "print the portfolio race table (win rates, incumbents, TTFF)")
 	)
 	fs.SetOutput(os.Stderr)
 	if err := fs.Parse(args); err != nil {
@@ -78,7 +79,82 @@ func run(w io.Writer, args []string) error {
 	if *gap {
 		printGap(w, events)
 	}
+	if *pf {
+		printPortfolio(w, events)
+	}
 	return nil
+}
+
+// printPortfolio tabulates portfolio races: per-backend win rates from
+// portfolio.win events, and the incumbent improvement timeline (who
+// published which height when, time to first feasible) from
+// portfolio.incumbent events. Traces without races print nothing.
+func printPortfolio(w io.Writer, events []obs.Event) {
+	type stat struct {
+		wins       int
+		incumbents int
+		firsts     int
+		best       float64
+	}
+	stats := map[string]*stat{}
+	get := func(name string) *stat {
+		s := stats[name]
+		if s == nil {
+			s = &stat{best: math.Inf(1)}
+			stats[name] = s
+		}
+		return s
+	}
+	races, ttffN := 0, 0
+	var ttffUS int64
+	var incumbents []obs.Event
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindPortfolioWin:
+			get(e.Detail).wins++
+			races++
+		case obs.KindPortfolioIncumbent:
+			s := get(e.Detail)
+			s.incumbents++
+			if e.Height < s.best {
+				s.best = e.Height
+			}
+			if e.First {
+				s.firsts++
+				ttffUS += e.DurUS
+				ttffN++
+			}
+			incumbents = append(incumbents, e)
+		}
+	}
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nportfolio races (%d):\n", races)
+	fmt.Fprintf(w, "  %-10s %8s %8s %11s %6s %10s\n", "backend", "wins", "winrate", "incumbents", "first", "best")
+	for _, name := range sortedKeys(stats) {
+		s := stats[name]
+		rate := "-"
+		if races > 0 {
+			rate = fmt.Sprintf("%.0f%%", 100*float64(s.wins)/float64(races))
+		}
+		best := "-"
+		if !math.IsInf(s.best, 1) {
+			best = fmt.Sprintf("%.4g", s.best)
+		}
+		fmt.Fprintf(w, "  %-10s %8d %8s %11d %6d %10s\n", name, s.wins, rate, s.incumbents, s.firsts, best)
+	}
+	if ttffN > 0 {
+		fmt.Fprintf(w, "  time to first feasible: %s mean over %d race(s)\n", fmtUS(ttffUS/int64(ttffN)), ttffN)
+	}
+	fmt.Fprintf(w, "\nincumbent timeline:\n")
+	for _, e := range incumbents {
+		mark := ""
+		if e.First {
+			mark = "  (first feasible)"
+		}
+		fmt.Fprintf(w, "  %10s  %-10s height %-10.4g bound %.4g%s\n", fmtUS(e.DurUS), e.Detail, e.Height, e.Bound, mark)
+	}
 }
 
 func readTrace(path string) ([]obs.Event, error) {

@@ -29,6 +29,20 @@ type Config struct {
 	// MinTemp stops the schedule. Zero defaults to 1e-4 of the initial
 	// temperature.
 	MinTemp float64
+	// FixedWidth, when positive, anneals against a fixed chip width W
+	// instead of free bounding area: the cost becomes the packing height
+	// scaled by a quadratic penalty in the relative width excess
+	// (h * max(w/W, 1)^2), so layouts wider than the chip are steered
+	// inside before their height matters. Portfolio races set it so every
+	// backend solves the same fixed-width instance.
+	FixedWidth float64
+	// Best, when set, is invoked with a freshly decoded floorplan every
+	// time the search improves its best cost (including the initial
+	// expression) — the incremental-best reporting a portfolio racer uses
+	// to publish incumbents while the schedule is still cooling. It is
+	// called synchronously on the annealing goroutine and must not block
+	// for long.
+	Best func(*core.Result)
 	// Obs receives one anneal.temp event per temperature step (current
 	// temperature, acceptance stats, current and best cost). Nil disables
 	// instrumentation at zero cost.
@@ -47,13 +61,22 @@ func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
 // floorplan found so far is returned together with ctx.Err(), matching
 // core.FloorplanCtx's partial-result convention — annealing always has
 // an incumbent after the initial expression, so the result is usable.
-func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*core.Result, error) {
+// The whole run is wrapped in an "anneal" span so portfolio traces
+// attribute time per backend.
+func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (res *core.Result, err error) {
+	cfg.Obs.Do(ctx, "anneal", obs.SpanAttrs{Detail: d.Name}, func(ctx context.Context) {
+		res, err = floorplanCtx(ctx, d, cfg)
+	})
+	return res, err
+}
+
+func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*core.Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(d.Modules)
 	if n == 0 {
-		return &core.Result{Design: d}, nil
+		return &core.Result{Design: d, Source: "anneal"}, nil
 	}
 	if cfg.FlexSamples <= 0 {
 		cfg.FlexSamples = 6
@@ -76,6 +99,9 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*core.Res
 	curCost := a.cost(cur)
 	best := append([]int(nil), cur...)
 	bestCost := curCost
+	if cfg.Best != nil {
+		cfg.Best(a.decode(best))
+	}
 
 	// Calibrate T0 from the average uphill move.
 	t0 := a.calibrate(cur, curCost)
@@ -107,6 +133,9 @@ func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*core.Res
 				if c < bestCost {
 					bestCost = c
 					best = append(best[:0], cur...)
+					if cfg.Best != nil {
+						cfg.Best(a.decode(best))
+					}
 				}
 			}
 		}
@@ -261,11 +290,22 @@ func (a *annealer) moveM3(expr []int) bool {
 	return false
 }
 
-// cost evaluates the best (area + lambda*HPWL) over the shape curve of
-// the expression.
+// shapeCost scores a bounding shape: area in free-width mode, height
+// scaled by a quadratic excess-width penalty in fixed-width mode (see
+// Config.FixedWidth).
+func (a *annealer) shapeCost(w, h float64) float64 {
+	if fw := a.cfg.FixedWidth; fw > 0 {
+		over := math.Max(w/fw, 1)
+		return h * over * over
+	}
+	return w * h
+}
+
+// cost evaluates the best (shape cost + lambda*HPWL) over the shape
+// curve of the expression.
 func (a *annealer) cost(expr []int) float64 {
 	res := a.decode(expr)
-	c := res.ChipArea()
+	c := a.shapeCost(res.ChipWidth, res.Height)
 	if a.cfg.Lambda > 0 {
 		c += a.cfg.Lambda * res.HPWL()
 	}
@@ -303,13 +343,13 @@ func (a *annealer) decode(expr []int) *core.Result {
 	// Choose the best point of the root curve.
 	bestK, bestC := 0, math.Inf(1)
 	for k, p := range nodes[root].curve {
-		c := p.w * p.h
+		c := a.shapeCost(p.w, p.h)
 		if c < bestC {
 			bestK, bestC = k, c
 		}
 	}
 
-	res := &core.Result{Design: a.d}
+	res := &core.Result{Design: a.d, Source: "anneal"}
 	// Recursive extraction of rectangles.
 	var place func(ni, k int, x, y float64)
 	place = func(ni, k int, x, y float64) {

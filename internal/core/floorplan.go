@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"afp/internal/geom"
@@ -97,6 +98,29 @@ type Config struct {
 	// milliseconds per step and exists to catch formulation regressions,
 	// so CLIs enable it together with -verify.
 	Audit bool
+	// Backend selects the solution paradigm. "" and "milp" run the
+	// paper's successive augmentation (the default); any other name
+	// dispatches to a backend registered via RegisterBackend — importing
+	// internal/portfolio provides "portfolio" (race every paradigm with a
+	// shared incumbent board) plus standalone "anneal", "seqpair" and
+	// "project".
+	Backend string
+	// BackendBudget caps the wall time of individual portfolio
+	// contestants by backend name; zero or missing entries mean no
+	// per-backend cap beyond the surrounding context.
+	BackendBudget map[string]time.Duration
+	// BackendSeed seeds the stochastic backends (anneal, seqpair,
+	// project).
+	BackendSeed int64
+	// ExternalBound, when set under the AreaOnly objective (whose step
+	// MILPs minimize the chip height directly), supplies an
+	// externally-verified feasible chip height and its producer label.
+	// Every step's branch and bound polls it and prunes nodes whose LP
+	// bound cannot beat it — sound because partial heights never decrease
+	// across augmentation steps, so a step node at or above the external
+	// height can only lead to floorplans no better than the external one.
+	// A step proven dominated stops the run with ErrDominated.
+	ExternalBound func() (height float64, source string, ok bool)
 	// Obs receives augmentation telemetry (step.start/step.done events)
 	// and is threaded into the MILP and LP layers so a single sink sees
 	// the whole solve. Nil (the default) disables instrumentation at no
@@ -180,6 +204,13 @@ func Floorplan(d *netlist.Design, cfg Config) (*Result, error) {
 // partial results against deadlines; callers that need an all-or-nothing
 // answer should discard the result when err != nil.
 func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (res *Result, err error) {
+	if name := cfg.Backend; name != "" && name != "milp" {
+		fn := lookupBackend(name)
+		if fn == nil {
+			return nil, fmt.Errorf("core: unknown backend %q (have: %s)", name, strings.Join(Backends(), ", "))
+		}
+		return fn(ctx, d, cfg)
+	}
 	cfg.Obs.Do(ctx, "solve", obs.SpanAttrs{Detail: d.Name}, func(ctx context.Context) {
 		res, err = floorplanCtx(ctx, d, cfg)
 	})
@@ -195,7 +226,7 @@ func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 	start := time.Now()
 	c := cfg.withDefaults(d)
 	n := len(d.Modules)
-	res := &Result{Design: d, ChipWidth: c.ChipWidth}
+	res := &Result{Design: d, ChipWidth: c.ChipWidth, Source: "bb"}
 	if n == 0 {
 		return res, nil
 	}
@@ -349,6 +380,11 @@ func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			opts.Presolve = !c.NoPresolve
 			opts.Obs = c.Obs
 			opts.LP.Obs = c.Obs
+			if c.ExternalBound != nil && c.Objective == mipmodel.AreaOnly {
+				// The AreaOnly step objective IS the partial chip height, so
+				// an external full-floorplan height is a valid cutoff.
+				opts.External = c.ExternalBound
+			}
 
 			c.Obs.Emit(obs.Event{
 				Kind: obs.KindStepStart, Step: step, Modules: pos,
@@ -359,6 +395,15 @@ func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			relaxed := false
 			if mres.X == nil && ctx.Err() != nil {
 				stepRes, stepErr = partial(), ctx.Err()
+				stop = true
+				return
+			}
+			if mres.Status == milp.StatusDominated {
+				// The externally-shared incumbent beats everything this
+				// trajectory can still reach: concede instead of placing on.
+				// The partial floorplan rides along (like cancellation) so
+				// racers can still account for the steps already solved.
+				stepRes, stepErr = partial(), fmt.Errorf("core: step %d: %w", step, ErrDominated)
 				stop = true
 				return
 			}
@@ -404,18 +449,19 @@ func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			}
 			stepHeight := geom.NewSkyline(envs).MaxHeight()
 			res.Steps = append(res.Steps, StepTrace{
-				Step:      step,
-				Added:     append([]int(nil), group...),
-				Obstacles: len(obstacles),
-				Modules:   pos,
-				Binaries:  len(built.Model.Ints),
-				Nodes:     mres.Nodes,
-				LPIters:   mres.LPIters,
-				Status:    mres.Status,
-				Gap:       mres.Gap(),
-				Height:    stepHeight,
-				Elapsed:   time.Since(stepStart),
-				Relaxed:   relaxed,
+				Step:            step,
+				Added:           append([]int(nil), group...),
+				Obstacles:       len(obstacles),
+				Modules:         pos,
+				Binaries:        len(built.Model.Ints),
+				Nodes:           mres.Nodes,
+				LPIters:         mres.LPIters,
+				Status:          mres.Status,
+				IncumbentSource: mres.IncumbentSource,
+				Gap:             mres.Gap(),
+				Height:          stepHeight,
+				Elapsed:         time.Since(stepStart),
+				Relaxed:         relaxed,
 			})
 			c.Obs.Emit(obs.Event{
 				Kind: obs.KindStepDone, Step: step, Status: mres.Status.String(),
@@ -453,6 +499,7 @@ func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 			return nil, fmt.Errorf("core: post-optimize: %w", err)
 		}
 		opt.Steps = res.Steps
+		opt.Source = res.Source
 		opt.Elapsed = time.Since(start)
 		return opt, nil
 	}

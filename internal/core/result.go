@@ -36,6 +36,11 @@ type StepTrace struct {
 	Nodes     int   // branch-and-bound nodes
 	LPIters   int   // simplex iterations across all of the step's node solves
 	Status    milp.Status
+	// IncumbentSource names who owned the step's best solution: "bb" for
+	// the branch and bound itself (or its bottom-left hint), or a
+	// portfolio label like "portfolio:anneal" when an externally-shared
+	// incumbent dominated the step.
+	IncumbentSource string
 	// Gap is the step subproblem's relative MIP gap (+Inf when the step
 	// stopped without a proven bound); nonzero gaps identify steps whose
 	// node or time budget ran out before optimality.
@@ -55,6 +60,11 @@ type Result struct {
 	Placements []Placement // one per module, in placement order
 	Steps      []StepTrace
 	Elapsed    time.Duration
+	// Source names the solution paradigm that produced the floorplan:
+	// "bb" for the successive-augmentation branch and bound, "anneal",
+	// "seqpair" or "project" for the standalone heuristics, and
+	// "portfolio:<backend>" for a portfolio race's winning contestant.
+	Source string
 }
 
 // ChipArea returns the chip area W*H.

@@ -103,6 +103,18 @@ type Options struct {
 	// prefer it when node throughput matters more than heuristic placement
 	// quality (see BenchmarkAblationWarmStart).
 	WarmStart bool
+	// External optionally supplies an externally-proven feasible objective
+	// value (in the problem's original sense) together with a label naming
+	// its producer, e.g. "portfolio:anneal". The search polls it at node
+	// boundaries and prunes any subtree whose LP bound cannot beat the
+	// external value, exactly as it prunes against its own incumbent; the
+	// hook must be safe for concurrent use (parallel workers poll it under
+	// the pool lock) and should be a cheap mutex-guarded read. When the
+	// search exhausts without an internal incumbent at least as good as
+	// the external objective, the result is StatusDominated: nothing in
+	// this model beats the external solution (within AbsGap), and
+	// Result.IncumbentSource carries the external label.
+	External func() (obj float64, source string, ok bool)
 	// Obs receives branch-and-bound telemetry: node open/close/prune
 	// events, incumbent updates, periodic progress probes and a final
 	// search summary. Nil (the default) disables instrumentation at no
@@ -124,6 +136,10 @@ const (
 	StatusInfeasible               // no integer-feasible point exists
 	StatusUnbounded                // relaxation unbounded
 	StatusLimit                    // limit hit with no incumbent
+	// StatusDominated: the search exhausted under an Options.External
+	// cutoff without beating it — the external solution is proven at
+	// least as good as anything in this model (within AbsGap).
+	StatusDominated
 )
 
 func (s Status) String() string {
@@ -136,6 +152,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusUnbounded:
 		return "unbounded"
+	case StatusDominated:
+		return "dominated"
 	default:
 		return "limit"
 	}
@@ -149,6 +167,11 @@ type Result struct {
 	Nodes     int       // branch-and-bound nodes explored
 	LPIters   int       // total simplex iterations across all node solves
 	BestBound float64   // proven bound on the optimum (original sense)
+	// IncumbentSource names who owns the best known solution: "bb" when
+	// the search (or its hint) produced X, or the Options.External label
+	// (e.g. "portfolio:anneal") on StatusDominated results. Empty when no
+	// incumbent is known at all.
+	IncumbentSource string
 }
 
 // Gap returns the relative MIP gap |Objective - BestBound| /
@@ -212,6 +235,10 @@ type solver struct {
 	incumbent    []float64
 	incumbentObj float64 // minimize sense
 	haveInc      bool
+
+	extObj    float64 // best external objective seen (minimize sense)
+	extSource string
+	haveExt   bool
 
 	nodes   int
 	lpIters int
@@ -362,6 +389,33 @@ func (s *solver) timeUp() bool {
 	return !s.deadline.IsZero() && time.Now().After(s.deadline)
 }
 
+// pollExternal refreshes the externally-shared incumbent objective.
+func (s *solver) pollExternal() {
+	if s.opt.External == nil {
+		return
+	}
+	if obj, src, ok := s.opt.External(); ok {
+		v := s.sign * obj
+		if !s.haveExt || v < s.extObj {
+			s.extObj, s.extSource, s.haveExt = v, src, true
+		}
+	}
+}
+
+// cutoff returns the pruning cutoff in minimize sense: the tighter of
+// the internal incumbent and the external objective.
+func (s *solver) cutoff() (float64, bool) {
+	switch {
+	case s.haveInc && s.haveExt:
+		return math.Min(s.incumbentObj, s.extObj), true
+	case s.haveInc:
+		return s.incumbentObj, true
+	case s.haveExt:
+		return s.extObj, true
+	}
+	return 0, false
+}
+
 // setIntBounds applies a node's integer bounds to the working problem.
 func (s *solver) setIntBounds(n *node) {
 	if s.inc != nil {
@@ -450,9 +504,10 @@ func (s *solver) run() *Result {
 		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		s.pollExternal()
 
 		// Prune by parent bound before paying for an LP solve.
-		if s.haveInc && n.bound >= s.incumbentObj-s.opt.AbsGap {
+		if cut, ok := s.cutoff(); ok && n.bound >= cut-s.opt.AbsGap {
 			s.prunedN++
 			if s.o.Enabled() {
 				s.o.Emit(obs.Event{
@@ -499,7 +554,7 @@ func (s *solver) run() *Result {
 		if n.branchVar >= 0 && !math.IsInf(n.bound, -1) {
 			s.recordPseudo(n.branchVar, n.branchUp, obj-n.bound)
 		}
-		if s.haveInc && obj >= s.incumbentObj-s.opt.AbsGap {
+		if cut, ok := s.cutoff(); ok && obj >= cut-s.opt.AbsGap {
 			s.emitClose(n, "bound", obj)
 			continue
 		}
@@ -546,16 +601,22 @@ func (s *solver) run() *Result {
 		}
 	}
 
-	if !s.haveInc {
-		if hitLimit {
-			return s.result(StatusLimit, bestOpenBound, len(stack))
-		}
-		return s.result(StatusInfeasible, bestOpenBound, len(stack))
-	}
 	if hitLimit {
-		return s.result(StatusFeasible, bestOpenBound, len(stack))
+		if s.haveInc {
+			return s.result(StatusFeasible, bestOpenBound, len(stack))
+		}
+		return s.result(StatusLimit, bestOpenBound, len(stack))
 	}
-	return s.result(StatusOptimal, s.incumbentObj, len(stack))
+	// Exhausted. Subtrees were pruned against min(incumbent, external), so
+	// when the external objective is the tighter of the two nothing in
+	// this model beats it: the external solution dominates the search.
+	if s.haveExt && (!s.haveInc || s.extObj < s.incumbentObj) {
+		return s.result(StatusDominated, s.extObj, len(stack))
+	}
+	if s.haveInc {
+		return s.result(StatusOptimal, s.incumbentObj, len(stack))
+	}
+	return s.result(StatusInfeasible, bestOpenBound, len(stack))
 }
 
 func minOpenBound(stack []*node) float64 {
@@ -634,6 +695,10 @@ func (s *solver) result(st Status, bound float64, openLeft int) *Result {
 	if s.haveInc {
 		r.X = s.incumbent
 		r.Objective = s.sign * s.incumbentObj
+		r.IncumbentSource = "bb"
+	}
+	if st == StatusDominated {
+		r.IncumbentSource = s.extSource
 	}
 	// Report the proven bound in the original sense.
 	if math.IsInf(bound, -1) {

@@ -79,6 +79,10 @@ type psolver struct {
 	incumbentObj float64 // minimize sense
 	haveInc      bool
 
+	extObj    float64 // best external objective seen (minimize sense)
+	extSource string
+	haveExt   bool
+
 	nodes   int
 	lpIters int
 	pushed  int
@@ -253,7 +257,8 @@ func (ps *psolver) next(worker int, local *node) *node {
 			ps.idle--
 			continue
 		}
-		if ps.haveInc && n.bound >= ps.incumbentObj-ps.opt.AbsGap {
+		ps.pollExternalLocked()
+		if cut, ok := ps.cutoffLocked(); ok && n.bound >= cut-ps.opt.AbsGap {
 			ps.prunedN++
 			if ps.o.Enabled() {
 				ps.o.Emit(obs.Event{
@@ -332,6 +337,47 @@ func (ps *psolver) incumbentSnapshot() (float64, bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	return ps.incumbentObj, ps.haveInc
+}
+
+// pollExternalLocked refreshes the externally-shared incumbent. The
+// External hook is called with ps.mu held; by contract it only takes
+// locks that never wait on a branch-and-bound worker (the portfolio
+// board's mutex), so the ordering ps.mu -> board.mu is acyclic.
+//
+// locked: ps.mu
+func (ps *psolver) pollExternalLocked() {
+	if ps.opt.External == nil {
+		return
+	}
+	if obj, src, ok := ps.opt.External(); ok {
+		v := ps.sign * obj
+		if !ps.haveExt || v < ps.extObj {
+			ps.extObj, ps.extSource, ps.haveExt = v, src, true
+		}
+	}
+}
+
+// cutoffLocked mirrors the serial cutoff: min(incumbent, external).
+//
+// locked: ps.mu
+func (ps *psolver) cutoffLocked() (float64, bool) {
+	switch {
+	case ps.haveInc && ps.haveExt:
+		return math.Min(ps.incumbentObj, ps.extObj), true
+	case ps.haveInc:
+		return ps.incumbentObj, true
+	case ps.haveExt:
+		return ps.extObj, true
+	}
+	return 0, false
+}
+
+// cutoffSnapshot polls the external hook and returns the current cutoff.
+func (ps *psolver) cutoffSnapshot() (float64, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.pollExternalLocked()
+	return ps.cutoffLocked()
 }
 
 // publishIncumbent installs a strictly better incumbent under the lock
@@ -511,7 +557,7 @@ func (pw *pworker) process(n *node, rootLo, rootHi []float64) *node {
 	if n.branchVar >= 0 && !math.IsInf(n.bound, -1) {
 		ps.recordPseudo(n.branchVar, n.branchUp, obj-n.bound)
 	}
-	if incObj, have := ps.incumbentSnapshot(); have && obj >= incObj-ps.opt.AbsGap {
+	if cut, have := ps.cutoffSnapshot(); have && obj >= cut-ps.opt.AbsGap {
 		ps.emitClose(pw.id, n, "bound", obj)
 		return nil
 	}
@@ -571,6 +617,11 @@ func (ps *psolver) result() *Result {
 				bound = math.Inf(-1)
 			}
 		}
+	case ps.haveExt && (!ps.haveInc || ps.extObj < ps.incumbentObj):
+		// Exhausted under an external cutoff tighter than anything found
+		// here: the external solution dominates this model (serial logic).
+		st = StatusDominated
+		bound = ps.extObj
 	case ps.haveInc:
 		st = StatusOptimal
 		bound = ps.incumbentObj
@@ -583,6 +634,10 @@ func (ps *psolver) result() *Result {
 	if ps.haveInc {
 		r.X = ps.incumbent
 		r.Objective = ps.sign * ps.incumbentObj
+		r.IncumbentSource = "bb"
+	}
+	if st == StatusDominated {
+		r.IncumbentSource = ps.extSource
 	}
 	r.BestBound = ps.sign * bound
 	if ps.o.Enabled() {

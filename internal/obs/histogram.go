@@ -143,5 +143,13 @@ func (s MetricsSink) Emit(e Event) {
 		s.M.Observe("node_depth", float64(e.Depth))
 	case KindStepDone:
 		s.M.Observe("step_us", float64(e.DurUS))
+	case KindPortfolioIncumbent:
+		if e.First {
+			// Time-to-first-feasible of the whole race, one sample per solve.
+			s.M.Observe("portfolio_ttff_us", float64(e.DurUS))
+		}
+	case KindPortfolioWin:
+		// Per-backend win counters back the /metrics win-rate series.
+		s.M.Count("portfolio_wins_"+e.Detail, 1)
 	}
 }

@@ -80,6 +80,17 @@ const (
 	// Detail distinguishes the pass ("model" for mipmodel's geometric
 	// presolve, "propagate" for milp's bound propagation).
 	KindPresolve Kind = "presolve.done"
+	// KindPortfolioIncumbent marks a verified feasible floorplan
+	// published to a portfolio race's shared incumbent board. Detail
+	// names the publishing backend, Height/Bound carry the published
+	// height and the board's proven height bound, DurUS is the offset
+	// from race start, and First flags the race's first feasible
+	// incumbent (the time-to-first-feasible sample).
+	KindPortfolioIncumbent Kind = "portfolio.incumbent"
+	// KindPortfolioWin closes a portfolio race: Detail names the winning
+	// backend, Status its outcome, Height the final height and DurUS the
+	// race wall time.
+	KindPortfolioWin Kind = "portfolio.win"
 )
 
 // Event is one structured telemetry record. The struct is flat and
@@ -176,6 +187,8 @@ type Event struct {
 	Warm bool `json:"warm,omitempty"`
 	// Relaxed marks a step whose critical-net constraints were dropped.
 	Relaxed bool `json:"relaxed,omitempty"`
+	// First marks the first feasible incumbent of a portfolio race.
+	First bool `json:"first,omitempty"`
 
 	// Span is the span id: the span itself for span.start/span.end, the
 	// enclosing span for leaf events stamped with one (lp.solve).
@@ -421,6 +434,12 @@ func (s *LogSink) Emit(e Event) {
 	case KindPresolve:
 		fmt.Fprintf(s.w, "[%8.3fs] presolve (%s): %d binaries fixed, %d bounds tightened, big-M -%.0f%%\n",
 			sec(e.T), e.Detail, e.Fixed, e.Tightened, 100*e.MReduction)
+	case KindPortfolioIncumbent:
+		fmt.Fprintf(s.w, "[%8.3fs] portfolio incumbent (%s): height %.4g, bound %.4g%s\n",
+			sec(e.T), e.Detail, e.Height, e.Bound, firstSuffix(e.First))
+	case KindPortfolioWin:
+		fmt.Fprintf(s.w, "[%8.3fs] portfolio win: %s (%s), height %.4g (%.0fms)\n",
+			sec(e.T), e.Detail, e.Status, e.Height, float64(e.DurUS)/1e3)
 	default:
 		fmt.Fprintf(s.w, "[%8.3fs] %s %+v\n", sec(e.T), e.Kind, e)
 	}
@@ -431,6 +450,13 @@ func sec(us int64) float64 { return float64(us) / 1e6 }
 func relaxedSuffix(r bool) string {
 	if r {
 		return " [relaxed]"
+	}
+	return ""
+}
+
+func firstSuffix(f bool) string {
+	if f {
+		return " [first]"
 	}
 	return ""
 }

@@ -13,7 +13,7 @@ func TestSchemaCoversAllKinds(t *testing.T) {
 		KindLPSolve, KindNodeOpen, KindNodeClose, KindNodePrune,
 		KindIncumbent, KindProgress, KindSearchDone, KindSearchParallel,
 		KindStepStart, KindStepDone, KindAdjust, KindAnnealTemp,
-		KindPresolve,
+		KindPresolve, KindPortfolioIncumbent, KindPortfolioWin,
 	}
 	for _, k := range kinds {
 		if !KnownKind(k) {

@@ -1,0 +1,182 @@
+package portfolio
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+
+	"afp/internal/core"
+	"afp/internal/geom"
+	"afp/internal/netlist"
+)
+
+// project is the portfolio's feasibility-seeking contestant, in the
+// spirit of projection/superiorization floorplanners (Per-RMAP): instead
+// of searching a combinatorial encoding it treats the layout as a point
+// in R^2n and alternates projections onto the two constraint families —
+// the chip envelope (clamp every box into the W x Hcap window) and
+// pairwise non-overlap (push each overlapping pair apart along the axis
+// of least penetration, half each). The near-feasible point is then
+// legalized by bottom-left packing the boxes in projected (y, x) order,
+// the verified result is published to the board, and the target envelope
+// Hcap shrinks below the achieved height (the superiorization step)
+// before the next round re-samples flexible widths. Deterministic for a
+// given seed.
+func project(ctx context.Context, d *netlist.Design, seed int64, width float64, board *Board) (*core.Result, error) {
+	n := len(d.Modules)
+	if n == 0 {
+		return &core.Result{Design: d, ChipWidth: width, Source: "project"}, nil
+	}
+	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	area := d.TotalArea()
+
+	var best *core.Result
+	// Start with a loose envelope: 40% taller than the perfect packing.
+	hcap := 1.4 * area / width
+	stale := 0
+	for round := 0; stale < 25 && round < 400; round++ {
+		select {
+		case <-ctx.Done():
+			return best, ctx.Err()
+		default:
+		}
+		ws, hs, rot := sampleShapes(d, rng, width)
+		res := oneRound(d, rng, ws, hs, rot, width, hcap)
+		if best == nil || res.Height < best.Height-geom.Tol {
+			best = res
+			stale = 0
+		} else {
+			stale++
+		}
+		board.Publish("project", res)
+		// Superiorize: aim the next envelope below the best height seen,
+		// never below the area bound.
+		hcap = math.Max(area/width, 0.95*best.Height)
+	}
+	return best, nil
+}
+
+// sampleShapes draws one realization of every module's dimensions:
+// flexible modules get a width uniform in their feasible range, rigid
+// modules rotate only when they would not fit the chip upright.
+func sampleShapes(d *netlist.Design, rng *rand.Rand, width float64) (ws, hs []float64, rot []bool) {
+	n := len(d.Modules)
+	ws, hs, rot = make([]float64, n), make([]float64, n), make([]bool, n)
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		if m.Kind == netlist.Flexible {
+			wmin, wmax := m.WidthRange()
+			w := wmin + rng.Float64()*(wmax-wmin)
+			if w > width {
+				w = math.Min(width, wmax)
+			}
+			ws[i], hs[i] = w, m.HeightFor(w)
+			continue
+		}
+		ws[i], hs[i] = m.W, m.H
+		if ws[i] > width && m.Rotatable {
+			ws[i], hs[i], rot[i] = m.H, m.W, true
+		}
+	}
+	return ws, hs, rot
+}
+
+// oneRound runs the alternating-projection sweeps from a fresh random
+// start and legalizes the result.
+func oneRound(d *netlist.Design, rng *rand.Rand, ws, hs []float64, rot []bool, width, hcap float64) *core.Result {
+	n := len(ws)
+	px, py := make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i] = rng.Float64() * math.Max(0, width-ws[i])
+		py[i] = rng.Float64() * math.Max(0, hcap-hs[i])
+	}
+	for sweep := 0; sweep < 60; sweep++ {
+		moved := false
+		// Projection onto pairwise non-overlap: separate each violating
+		// pair along the axis of least penetration, half the overlap each.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				ox := math.Min(px[i]+ws[i], px[j]+ws[j]) - math.Max(px[i], px[j])
+				oy := math.Min(py[i]+hs[i], py[j]+hs[j]) - math.Max(py[i], py[j])
+				if ox <= geom.Tol || oy <= geom.Tol {
+					continue
+				}
+				moved = true
+				if ox < oy {
+					if px[i] <= px[j] {
+						px[i] -= ox / 2
+						px[j] += ox / 2
+					} else {
+						px[j] -= ox / 2
+						px[i] += ox / 2
+					}
+				} else {
+					if py[i] <= py[j] {
+						py[i] -= oy / 2
+						py[j] += oy / 2
+					} else {
+						py[j] -= oy / 2
+						py[i] += oy / 2
+					}
+				}
+			}
+		}
+		// Projection onto the chip envelope: clamp into [0,W] x [0,Hcap].
+		for i := 0; i < n; i++ {
+			nx := clamp(px[i], 0, math.Max(0, width-ws[i]))
+			ny := clamp(py[i], 0, math.Max(0, hcap-hs[i]))
+			if math.Abs(nx-px[i]) > geom.Tol || math.Abs(ny-py[i]) > geom.Tol {
+				moved = true
+			}
+			px[i], py[i] = nx, ny
+		}
+		if !moved {
+			break
+		}
+	}
+
+	// Legalize: bottom-left pack in the projected row-major order. The
+	// packer guarantees no overlap and no width excess, so the published
+	// result survives verification whenever every ws[i] <= width.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if math.Abs(py[ia]-py[ib]) > geom.Tol {
+			return py[ia] < py[ib]
+		}
+		return px[ia] < px[ib]
+	})
+	pw, ph := make([]float64, n), make([]float64, n)
+	for k, mi := range order {
+		pw[k], ph[k] = ws[mi], hs[mi]
+	}
+	rects := core.PackBottomLeft(pw, ph, width)
+
+	res := &core.Result{Design: d, ChipWidth: width, Source: "project"}
+	var h float64
+	for k, mi := range order {
+		r := rects[k]
+		res.Placements = append(res.Placements, core.Placement{
+			Index: mi, Env: r, Mod: r, Rotated: rot[mi],
+		})
+		if top := r.Y2(); top > h {
+			h = top
+		}
+	}
+	res.Height = h
+	return res
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -10,12 +10,14 @@
 package seqpair
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"afp/internal/core"
 	"afp/internal/geom"
 	"afp/internal/netlist"
+	"afp/internal/obs"
 )
 
 // Config tunes the annealer.
@@ -32,6 +34,20 @@ type Config struct {
 	MovesPerTemp int
 	// Alpha is the geometric cooling rate (default 0.85).
 	Alpha float64
+	// FixedWidth, when positive, anneals against a fixed chip width W:
+	// the cost becomes the packing height scaled by a quadratic penalty
+	// in the relative width excess (h * max(w/W, 1)^2), mirroring
+	// anneal.Config.FixedWidth so portfolio contestants solve the same
+	// fixed-width instance.
+	FixedWidth float64
+	// Best, when set, is invoked with a freshly decoded floorplan every
+	// time the search improves its best cost (including the initial
+	// state), synchronously on the annealing goroutine.
+	Best func(*core.Result)
+	// Obs receives one anneal.temp event per temperature step plus a
+	// "seqpair" span wrapping the whole run. Nil disables instrumentation
+	// at zero cost.
+	Obs *obs.Observer
 }
 
 // shape is one realizable (w, h) of a module.
@@ -58,12 +74,28 @@ type annealer struct {
 // Floorplan runs sequence-pair simulated annealing and returns the best
 // packing found.
 func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
+	return FloorplanCtx(context.Background(), d, cfg)
+}
+
+// FloorplanCtx is Floorplan under a context. Cancellation stops the
+// cooling schedule within a few moves and returns the best floorplan
+// found so far together with ctx.Err(), matching core.FloorplanCtx's
+// partial-result convention. The whole run is wrapped in a "seqpair"
+// span so portfolio traces attribute time per backend.
+func FloorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (res *core.Result, err error) {
+	cfg.Obs.Do(ctx, "seqpair", obs.SpanAttrs{Detail: d.Name}, func(ctx context.Context) {
+		res, err = floorplanCtx(ctx, d, cfg)
+	})
+	return res, err
+}
+
+func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*core.Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(d.Modules)
 	if n == 0 {
-		return &core.Result{Design: d}, nil
+		return &core.Result{Design: d, Source: "seqpair"}, nil
 	}
 	if cfg.FlexSamples <= 0 {
 		cfg.FlexSamples = 6
@@ -87,12 +119,23 @@ func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
 	curCost := a.cost(cur)
 	best := cur.clone()
 	bestCost := curCost
+	if cfg.Best != nil {
+		cfg.Best(a.decode(best))
+	}
 
 	// Calibrate the starting temperature from the average uphill delta.
 	t0 := a.calibrate(cur, curCost)
+	done := ctx.Done()
 	for T := t0; T > t0*1e-4; T *= cfg.Alpha {
 		accepted := 0
 		for mv := 0; mv < cfg.MovesPerTemp; mv++ {
+			if done != nil && mv&63 == 0 {
+				select {
+				case <-done:
+					return a.decode(best), ctx.Err()
+				default:
+				}
+			}
 			next := a.perturb(cur)
 			c := a.cost(next)
 			if delta := c - curCost; delta <= 0 || a.rng.Float64() < math.Exp(-delta/T) {
@@ -101,9 +144,16 @@ func Floorplan(d *netlist.Design, cfg Config) (*core.Result, error) {
 				if c < bestCost {
 					bestCost = c
 					best = cur.clone()
+					if cfg.Best != nil {
+						cfg.Best(a.decode(best))
+					}
 				}
 			}
 		}
+		cfg.Obs.Emit(obs.Event{
+			Kind: obs.KindAnnealTemp, Temp: T, Accepted: accepted,
+			Attempted: cfg.MovesPerTemp, Obj: curCost, Bound: bestCost,
+		})
 		if accepted == 0 {
 			break
 		}
@@ -257,6 +307,10 @@ func (a *annealer) place(s state) ([]geom.Rect, float64, float64) {
 func (a *annealer) cost(s state) float64 {
 	rects, W, H := a.place(s)
 	c := W * H
+	if fw := a.cfg.FixedWidth; fw > 0 {
+		over := math.Max(W/fw, 1)
+		c = H * over * over
+	}
 	if a.cfg.Lambda > 0 {
 		c += a.cfg.Lambda * hpwl(a.d, rects)
 	}
@@ -294,7 +348,7 @@ func hpwl(d *netlist.Design, rects []geom.Rect) float64 {
 
 func (a *annealer) decode(s state) *core.Result {
 	rects, W, H := a.place(s)
-	res := &core.Result{Design: a.d, ChipWidth: W, Height: H}
+	res := &core.Result{Design: a.d, ChipWidth: W, Height: H, Source: "seqpair"}
 	for m, r := range rects {
 		res.Placements = append(res.Placements, core.Placement{
 			Index: m, Env: r, Mod: r,

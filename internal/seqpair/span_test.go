@@ -1,0 +1,90 @@
+package seqpair
+
+import (
+	"context"
+	"testing"
+
+	"afp/internal/core"
+	"afp/internal/netlist"
+	"afp/internal/obs"
+)
+
+func spanDesign() *netlist.Design {
+	d := &netlist.Design{Name: "span"}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		d.Modules = append(d.Modules, netlist.Module{Name: name, Kind: netlist.Rigid, W: 3, H: 2, Rotatable: true})
+	}
+	return d
+}
+
+// The whole run is wrapped in a paired "seqpair" span and the cooling
+// schedule emits anneal.temp events, matching the anneal backend's
+// telemetry vocabulary.
+func TestSeqpairSpanAndTempEvents(t *testing.T) {
+	rec := &obs.Recorder{}
+	if _, err := FloorplanCtx(context.Background(), spanDesign(), Config{Seed: 2, Obs: obs.New(rec)}); err != nil {
+		t.Fatal(err)
+	}
+	var starts, ends int
+	for _, e := range rec.Events() {
+		if e.Name != "seqpair" {
+			continue
+		}
+		switch e.Kind {
+		case obs.KindSpanStart:
+			starts++
+		case obs.KindSpanEnd:
+			ends++
+		}
+	}
+	if starts != 1 || ends != 1 {
+		t.Fatalf("seqpair span start/end = %d/%d, want 1/1", starts, ends)
+	}
+	if rec.CountKind(obs.KindAnnealTemp) == 0 {
+		t.Fatal("no anneal.temp events recorded")
+	}
+}
+
+// Cancellation returns the best floorplan so far with ctx.Err(),
+// matching the core partial-result convention.
+func TestSeqpairCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := FloorplanCtx(ctx, spanDesign(), Config{Seed: 2})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if r == nil || len(r.Placements) != 4 {
+		t.Fatalf("cancelled run returned no floorplan: %+v", r)
+	}
+}
+
+// Best fires on the initial state and improvements with decoded
+// sequence-pair floorplans.
+func TestSeqpairBestCallback(t *testing.T) {
+	d := spanDesign()
+	var count int
+	_, err := Floorplan(d, Config{Seed: 2, Best: func(r *core.Result) {
+		count++
+		if len(r.Placements) != len(d.Modules) || r.Source != "seqpair" {
+			t.Fatalf("Best saw %d placements, source %q", len(r.Placements), r.Source)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("Best never called")
+	}
+}
+
+// FixedWidth steers general packings inside the chip width.
+func TestSeqpairFixedWidthFits(t *testing.T) {
+	r, err := Floorplan(spanDesign(), Config{Seed: 2, FixedWidth: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ChipWidth > 9+1e-9 {
+		t.Fatalf("fixed-width seqpair spilled: width %.4g > 9", r.ChipWidth)
+	}
+}

@@ -41,6 +41,13 @@ type SolveOptions struct {
 	// Solver is "augment" (successive augmentation, the default) or
 	// "anneal" (the Wong-Liu slicing baseline).
 	Solver string `json:"solver,omitempty"`
+	// Backend selects the solution paradigm of an "augment" job: ""
+	// or "milp" for the paper's successive augmentation, "portfolio" to
+	// race every paradigm with a shared incumbent board, or a standalone
+	// contestant ("anneal", "seqpair", "project"). Unlike TimeoutMS and
+	// Workers, the backend changes which floorplan comes back, so it is
+	// part of the cache key.
+	Backend string `json:"backend,omitempty"`
 	// ChipWidth fixes the chip width; 0 selects it from the module area.
 	ChipWidth float64 `json:"chipWidth,omitempty"`
 	// GroupSize is the augmentation group size e; 0 means 4.
@@ -155,6 +162,18 @@ func Resolve(req *SolveRequest) (*Instance, error) {
 	default:
 		return nil, fmt.Errorf("unknown solver %q (want augment or anneal)", opts.Solver)
 	}
+	switch opts.Backend {
+	case "", "milp":
+		// Normalize: "milp" and "" are the same built-in augmentation
+		// path, so equivalent requests hash equal.
+		opts.Backend = ""
+	case "portfolio", "anneal", "seqpair", "project":
+		if opts.Solver != "augment" {
+			return nil, fmt.Errorf("backend %q requires the augment solver", opts.Backend)
+		}
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want milp, portfolio, anneal, seqpair or project)", opts.Backend)
+	}
 	switch opts.Objective {
 	case "", "area":
 		opts.Objective = "area"
@@ -226,6 +245,7 @@ type canonicalInstance struct {
 	Modules []netlist.Module
 	Nets    []canonicalNet
 	Solver  string
+	Backend string
 	Width   float64
 	Group   int
 	Obj     string
@@ -248,6 +268,7 @@ func (in *Instance) Key() string {
 	c := canonicalInstance{
 		Modules: in.Design.Modules,
 		Solver:  in.Opts.Solver,
+		Backend: in.Opts.Backend,
 		Width:   in.Opts.ChipWidth,
 		Group:   in.Opts.GroupSize,
 		Obj:     in.Opts.Objective,
@@ -299,6 +320,8 @@ func (in *Instance) coreConfig() core.Config {
 		WireWeight:   in.Opts.WireWeight,
 		PostOptimize: in.Opts.PostOptimize,
 		NoPresolve:   in.Opts.NoPresolve,
+		Backend:      in.Opts.Backend,
+		BackendSeed:  in.Opts.AnnealSeed,
 	}
 	if in.Opts.Objective == "areawire" {
 		cfg.Objective = mipmodel.AreaWire

@@ -11,6 +11,10 @@ import (
 
 	"afp/internal/core"
 	"afp/internal/obs"
+
+	// Register the portfolio, anneal, seqpair and project backends with
+	// core.Config.Backend so jobs can select them by name.
+	_ "afp/internal/portfolio"
 )
 
 // Config sizes the service.
@@ -179,8 +183,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Static model audit before any solver time is spent: a request that
 	// is well-formed JSON but yields a malformed MILP (a module wider than
 	// the chip, a formulation invariant broken) is rejected here, not
-	// discovered mid-solve. The annealing solver never builds the MILP.
-	if in.Opts.Solver == "augment" {
+	// discovered mid-solve. The annealing solver and the pure-heuristic
+	// backends never build the MILP; a portfolio race does.
+	if in.Opts.Solver == "augment" && (in.Opts.Backend == "" || in.Opts.Backend == "portfolio") {
 		if err := core.AuditDesign(in.Design, in.coreConfig()); err != nil {
 			s.metrics.Count("jobs_malformed", 1)
 			httpError(w, http.StatusUnprocessableEntity, "model audit: %v", err)

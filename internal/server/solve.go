@@ -17,8 +17,12 @@ import (
 // statistics, so a client never needs a second round trip to judge a
 // solution.
 type ResultPayload struct {
-	Design    string  `json:"design"`
-	Solver    string  `json:"solver"`
+	Design string `json:"design"`
+	Solver string `json:"solver"`
+	// Source names the solution paradigm that produced the floorplan:
+	// "bb" for the branch and bound, "anneal"/"seqpair"/"project" for a
+	// standalone heuristic, "portfolio:<backend>" for a race's winner.
+	Source    string  `json:"source,omitempty"`
 	ChipWidth float64 `json:"chipWidth"`
 	Height    float64 `json:"height"`
 	Area      float64 `json:"area"`
@@ -67,9 +71,12 @@ type StepView struct {
 	Nodes    int     `json:"nodes"`
 	LPIters  int     `json:"lpIters"`
 	Status   string  `json:"status"`
-	Gap      float64 `json:"gap"`
-	Height   float64 `json:"height"`
-	Relaxed  bool    `json:"relaxed,omitempty"`
+	// Source names who owned the step's best solution: "bb", or a
+	// portfolio label when an externally-shared incumbent dominated it.
+	Source  string  `json:"source,omitempty"`
+	Gap     float64 `json:"gap"`
+	Height  float64 `json:"height"`
+	Relaxed bool    `json:"relaxed,omitempty"`
 }
 
 // runJob executes one dequeued job end to end: start, solve under the
@@ -202,6 +209,7 @@ func buildPayload(in *Instance, res *core.Result, dur time.Duration) *ResultPayl
 	p := &ResultPayload{
 		Design:      in.Design.Name,
 		Solver:      in.Opts.Solver,
+		Source:      res.Source,
 		ChipWidth:   res.ChipWidth,
 		Height:      res.Height,
 		Area:        res.ChipArea(),
@@ -231,7 +239,8 @@ func buildPayload(in *Instance, res *core.Result, dur time.Duration) *ResultPayl
 		p.Steps = append(p.Steps, StepView{
 			Step: st.Step, Added: len(st.Added), Binaries: st.Binaries,
 			Nodes: st.Nodes, LPIters: st.LPIters, Status: st.Status.String(),
-			Gap: gap, Height: st.Height, Relaxed: st.Relaxed,
+			Source: st.IncumbentSource,
+			Gap:    gap, Height: st.Height, Relaxed: st.Relaxed,
 		})
 		p.Gap = gap
 	}
