@@ -77,11 +77,13 @@ bench:
 benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# benchcmp diffs the two most recent committed BENCH_*.json snapshots.
+# benchcmp diffs the two most recent committed BENCH_*.json snapshots
+# and fails when a Table1* benchmark's B/op regressed by more than 10%
+# (the allocation-regression gate for the paper-reproduction hot path).
 benchcmp:
 	@set -- $$(ls BENCH_*.json | sort | tail -2); \
 	if [ $$# -lt 2 ]; then echo "benchcmp: need at least two BENCH_*.json snapshots"; exit 1; fi; \
-	$(GO) run ./cmd/benchjson -diff $$1 $$2
+	$(GO) run ./cmd/benchjson -diff -gate 10 $$1 $$2
 
 clean:
 	$(GO) clean ./...

@@ -33,8 +33,9 @@ func benchFloorplanSize(b *testing.B, d *netlist.Design) {
 }
 
 // benchFloorplanWorkers runs a Table 1 row at a fixed branch-and-bound
-// worker count (0 = library default). The util% and lpiters metrics land
-// in the BENCH_*.json snapshots next to ns/op (see cmd/benchjson).
+// worker count (0 = library default). The util%, lpiters, dualpivots and
+// refactors metrics land in the BENCH_*.json snapshots next to ns/op
+// (see cmd/benchjson).
 func benchFloorplanWorkers(b *testing.B, d *netlist.Design, workers int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -42,12 +43,16 @@ func benchFloorplanWorkers(b *testing.B, d *netlist.Design, workers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		iters := 0
+		iters, pivots, refactors := 0, 0, 0
 		for _, s := range r.Steps {
 			iters += s.LPIters
+			pivots += s.DualPivots
+			refactors += s.Refactors
 		}
 		b.ReportMetric(100*r.Utilization(), "util%")
 		b.ReportMetric(float64(iters), "lpiters")
+		b.ReportMetric(float64(pivots), "dualpivots")
+		b.ReportMetric(float64(refactors), "refactors")
 	}
 }
 
@@ -407,11 +412,15 @@ func benchWarmStart(b *testing.B, warm bool) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res := milp.Solve(built.Model, milp.Options{WarmStart: warm, MaxNodes: 50000})
+		res := milp.Solve(built.Model, milp.Options{ColdStart: !warm, MaxNodes: 50000})
 		if res.X == nil {
 			b.Fatal("no solution")
 		}
 		b.ReportMetric(float64(res.LPIters), "lpiters")
+		if warm {
+			b.ReportMetric(float64(res.DualPivots), "dualpivots")
+			b.ReportMetric(float64(res.Refactorizations), "refactors")
+		}
 	}
 }
 

@@ -8,8 +8,13 @@
 //
 // With -diff OLD.json NEW.json it instead compares two snapshots,
 // printing the relative change of every shared metric plus any
-// benchmarks added or removed; `make benchcmp` diffs the two most recent
-// snapshots.
+// benchmarks added or removed — metrics present on only one side are
+// called out as old-only/new-only rather than silently skipped;
+// `make benchcmp` diffs the two most recent snapshots. Adding
+// -gate <pct> turns the diff into a regression gate: the exit status is
+// nonzero when any Table1* benchmark's B/op grew by more than pct
+// percent, so allocation regressions on the paper-reproduction hot path
+// fail CI instead of drifting in.
 package main
 
 import (
@@ -61,6 +66,7 @@ func main() {
 	out := flag.String("out", "", "output file (empty = stdout)")
 	date := flag.String("date", "", "snapshot date (default: today, UTC)")
 	diff := flag.Bool("diff", false, "compare two snapshot files: benchjson -diff OLD.json NEW.json")
+	gate := flag.Float64("gate", 0, "with -diff: fail when a Table1* benchmark's B/op regresses by more than this percentage (0 disables)")
 	flag.Parse()
 
 	if *diff {
@@ -68,7 +74,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two snapshot files")
 			os.Exit(1)
 		}
-		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *gate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -210,8 +216,13 @@ func loadSnapshot(path string) (*Snapshot, error) {
 
 // runDiff prints the relative change of every metric shared by the two
 // snapshots, one line per benchmark/metric pair, plus benchmarks that
-// appear in only one of them.
-func runDiff(w io.Writer, oldPath, newPath string) error {
+// appear in only one of them. Metrics present on only one side of a
+// shared benchmark are reported as old-only/new-only: a metric silently
+// vanishing from the snapshot (a dropped b.ReportMetric, a renamed
+// unit) should be visible in the diff, not elided. With gatePct > 0 the
+// diff fails when any Table1* benchmark's B/op regressed by more than
+// that percentage.
+func runDiff(w io.Writer, oldPath, newPath string, gatePct float64) error {
 	oldS, err := loadSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -225,6 +236,7 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 	for _, b := range oldS.Benchmarks {
 		oldBy[b.Name] = b
 	}
+	var regressions []string
 	seen := make(map[string]bool, len(newS.Benchmarks))
 	for _, nb := range newS.Benchmarks {
 		seen[nb.Name] = true
@@ -233,18 +245,35 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 			fmt.Fprintf(w, "%-40s  added\n", nb.Name)
 			continue
 		}
-		keys := make([]string, 0, len(nb.Metrics))
+		keys := make([]string, 0, len(nb.Metrics)+len(ob.Metrics))
 		for k := range nb.Metrics {
-			if _, shared := ob.Metrics[k]; shared {
+			keys = append(keys, k)
+		}
+		for k := range ob.Metrics {
+			if _, shared := nb.Metrics[k]; !shared {
 				keys = append(keys, k)
 			}
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			ov, nv := ob.Metrics[k], nb.Metrics[k]
+			ov, inOld := ob.Metrics[k]
+			nv, inNew := nb.Metrics[k]
+			switch {
+			case !inOld:
+				fmt.Fprintf(w, "%-40s  %-10s  %12s -> %-12.4g  new-only\n", nb.Name, k, "(none)", nv)
+				continue
+			case !inNew:
+				fmt.Fprintf(w, "%-40s  %-10s  %12.4g -> %-12s  old-only\n", nb.Name, k, ov, "(none)")
+				continue
+			}
 			fmt.Fprintf(w, "%-40s  %-10s  %12.4g -> %-12.4g", nb.Name, k, ov, nv)
 			if ov != 0 {
-				fmt.Fprintf(w, "  %+.1f%%", 100*(nv-ov)/ov)
+				pct := 100 * (nv - ov) / ov
+				fmt.Fprintf(w, "  %+.1f%%", pct)
+				if gatePct > 0 && k == "B/op" && strings.HasPrefix(nb.Name, "Table1") && pct > gatePct {
+					regressions = append(regressions,
+						fmt.Sprintf("%s B/op %+.1f%% (gate %g%%)", nb.Name, pct, gatePct))
+				}
 			}
 			fmt.Fprintln(w)
 		}
@@ -253,6 +282,9 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 		if !seen[ob.Name] {
 			fmt.Fprintf(w, "%-40s  removed\n", ob.Name)
 		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("allocation regression gate failed: %s", strings.Join(regressions, "; "))
 	}
 	return nil
 }

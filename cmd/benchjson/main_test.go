@@ -71,34 +71,83 @@ func TestRunDiff(t *testing.T) {
 	oldPath := write("BENCH_old.json", `{
 		"date": "2026-08-01",
 		"benchmarks": [
-			{"name": "PresolveOn", "iterations": 1, "metrics": {"ns/op": 200, "nodes": 800}},
+			{"name": "PresolveOn", "iterations": 1, "metrics": {"ns/op": 200, "nodes": 800, "legacy": 4}},
 			{"name": "Gone", "iterations": 1, "metrics": {"ns/op": 5}}
 		]
 	}`)
 	newPath := write("BENCH_new.json", `{
 		"date": "2026-08-05",
 		"benchmarks": [
-			{"name": "PresolveOn", "iterations": 1, "metrics": {"ns/op": 100, "nodes": 200}},
+			{"name": "PresolveOn", "iterations": 1, "metrics": {"ns/op": 100, "nodes": 200, "dualpivots": 42}},
 			{"name": "Fresh", "iterations": 1, "metrics": {"ns/op": 7}}
 		]
 	}`)
 	var buf strings.Builder
-	if err := runDiff(&buf, oldPath, newPath); err != nil {
+	if err := runDiff(&buf, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	for _, want := range []string{
 		"2026-08-01", "2026-08-05",
-		"-50.0%",  // ns/op 200 -> 100
-		"-75.0%",  // nodes 800 -> 200
-		"added",   // Fresh
-		"removed", // Gone
+		"-50.0%",   // ns/op 200 -> 100
+		"-75.0%",   // nodes 800 -> 200
+		"added",    // Fresh
+		"removed",  // Gone
+		"new-only", // dualpivots only in the new snapshot
+		"old-only", // legacy only in the old snapshot
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("diff output missing %q:\n%s", want, out)
 		}
 	}
-	if err := runDiff(io.Discard, oldPath, filepath.Join(dir, "missing.json")); err == nil {
+	if err := runDiff(io.Discard, oldPath, filepath.Join(dir, "missing.json"), 0); err == nil {
 		t.Fatal("expected error for a missing snapshot file")
+	}
+}
+
+func TestRunDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("BENCH_old.json", `{
+		"date": "2026-08-01",
+		"benchmarks": [
+			{"name": "Table1Size15", "iterations": 1, "metrics": {"ns/op": 100, "B/op": 1000}},
+			{"name": "Table1Size20", "iterations": 1, "metrics": {"ns/op": 100, "B/op": 1000}},
+			{"name": "Other", "iterations": 1, "metrics": {"B/op": 10}}
+		]
+	}`)
+	newPath := write("BENCH_new.json", `{
+		"date": "2026-08-05",
+		"benchmarks": [
+			{"name": "Table1Size15", "iterations": 1, "metrics": {"ns/op": 90, "B/op": 1050}},
+			{"name": "Table1Size20", "iterations": 1, "metrics": {"ns/op": 90, "B/op": 1300}},
+			{"name": "Other", "iterations": 1, "metrics": {"B/op": 500}}
+		]
+	}`)
+	// Size20's B/op grew 30% — over a 10% gate; Size15's 5% is within it,
+	// and Other is not a Table1 benchmark so its 50x growth is ignored.
+	err := runDiff(io.Discard, oldPath, newPath, 10)
+	if err == nil {
+		t.Fatal("expected gate failure")
+	}
+	if !strings.Contains(err.Error(), "Table1Size20") || strings.Contains(err.Error(), "Table1Size15") {
+		t.Fatalf("gate error = %v, want Size20 only", err)
+	}
+	if strings.Contains(err.Error(), "Other") {
+		t.Fatalf("gate error includes non-Table1 benchmark: %v", err)
+	}
+	// A generous gate passes.
+	if err := runDiff(io.Discard, oldPath, newPath, 50); err != nil {
+		t.Fatalf("50%% gate failed: %v", err)
+	}
+	// gate 0 disables.
+	if err := runDiff(io.Discard, oldPath, newPath, 0); err != nil {
+		t.Fatalf("disabled gate failed: %v", err)
 	}
 }

@@ -69,9 +69,11 @@ func FloorplanExact(d *netlist.Design, cfg Config) (*Result, error) {
 	res.Steps = []StepTrace{{
 		Added:    allIndices(n),
 		Binaries: len(built.Model.Ints),
-		Nodes:    mres.Nodes,
-		LPIters:  mres.LPIters,
-		Status:   mres.Status,
+		Nodes:      mres.Nodes,
+		LPIters:    mres.LPIters,
+		DualPivots: mres.DualPivots,
+		Refactors:  mres.Refactorizations,
+		Status:     mres.Status,
 		Height:   res.Height,
 		Elapsed:  time.Since(start),
 	}}

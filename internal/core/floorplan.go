@@ -456,6 +456,8 @@ func floorplanCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, 
 				Binaries:        len(built.Model.Ints),
 				Nodes:           mres.Nodes,
 				LPIters:         mres.LPIters,
+				DualPivots:      mres.DualPivots,
+				Refactors:       mres.Refactorizations,
 				Status:          mres.Status,
 				IncumbentSource: mres.IncumbentSource,
 				Gap:             mres.Gap(),

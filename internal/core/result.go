@@ -35,7 +35,13 @@ type StepTrace struct {
 	Binaries  int   // 0-1 variables in the subproblem
 	Nodes     int   // branch-and-bound nodes
 	LPIters   int   // simplex iterations across all of the step's node solves
-	Status    milp.Status
+	// DualPivots and Refactors attribute the step's LP effort to the
+	// sparse engine: warm-started dual simplex pivots and basis
+	// refactorizations across all node solves. Zero when every solve
+	// took the dense primal path.
+	DualPivots int
+	Refactors  int
+	Status     milp.Status
 	// IncumbentSource names who owned the step's best solution: "bb" for
 	// the branch and bound itself (or its bottom-left hint), or a
 	// portfolio label like "portfolio:anneal" when an externally-shared

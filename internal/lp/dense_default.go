@@ -1,0 +1,10 @@
+//go:build !lpdense
+
+package lp
+
+// forceDense routes every cold solve through the dense two-phase
+// tableau simplex when the lpdense build tag is set. The differential
+// tests use the dense solver as the oracle for the sparse revised
+// simplex; the tag lets a whole build opt out of the sparse path when
+// chasing a suspected kernel bug.
+const forceDense = false

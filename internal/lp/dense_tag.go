@@ -1,0 +1,7 @@
+//go:build lpdense
+
+package lp
+
+// forceDense: the lpdense build tag pins every cold solve to the dense
+// two-phase tableau simplex (the differential-test oracle).
+const forceDense = true

@@ -1,0 +1,288 @@
+package lp
+
+import "errors"
+
+// luTolerances for the basis factorization. A pivot below luSingularTol
+// declares the basis numerically singular; entries below luDropTol are
+// not stored.
+const (
+	luSingularTol = 1e-11
+	luDropTol     = 1e-12
+)
+
+var errSingularBasis = errors.New("lp: singular basis factorization")
+
+// luFactor is a sparse LU factorization of the current basis matrix B,
+// built left-looking with partial pivoting. Columns are processed in
+// basis-position order; pivRow maps elimination step k to the original
+// row chosen as pivot, rowPos is its inverse.
+//
+// Storage is columnar and flattened so a refactorization in steady state
+// reuses capacity and allocates nothing:
+//
+//	L column j holds (original row, multiplier) pairs for the rows
+//	eliminated by step j; U column k holds (elimination step j < k,
+//	value) pairs plus the diagonal udiag[k].
+type luFactor struct {
+	m      int
+	pivRow []int32
+	rowPos []int32
+
+	lPtr []int32
+	lRow []int32
+	lVal []float64
+
+	uPtr  []int32
+	uElim []int32
+	uVal  []float64
+	udiag []float64
+
+	x       []float64 // dense scratch, indexed by original row
+	touched []int32
+}
+
+// factorBasis rebuilds the factorization for the given basis columns.
+// basis[k] < n selects structural CSC column basis[k]; basis[k] >= n is
+// the unit slack column of row basis[k]-n. Returns errSingularBasis when
+// partial pivoting cannot find a usable pivot.
+func (lu *luFactor) factorBasis(a *compiled, basis []int32, n int) error {
+	m := len(basis)
+	lu.m = m
+	lu.pivRow = grow32(lu.pivRow, m)
+	lu.rowPos = grow32(lu.rowPos, m)
+	lu.lPtr = grow32(lu.lPtr, m+1)
+	lu.uPtr = grow32(lu.uPtr, m+1)
+	lu.udiag = growF(lu.udiag, m)
+	lu.x = growF(lu.x, a.m)
+	lu.lRow = lu.lRow[:0]
+	lu.lVal = lu.lVal[:0]
+	lu.uElim = lu.uElim[:0]
+	lu.uVal = lu.uVal[:0]
+	for i := range lu.x {
+		lu.x[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		lu.rowPos[i] = -1
+	}
+	lu.lPtr[0] = 0
+	lu.uPtr[0] = 0
+
+	for k := 0; k < m; k++ {
+		// Scatter basis column k into the dense scratch.
+		lu.touched = lu.touched[:0]
+		b := basis[k]
+		if int(b) < n {
+			for t := a.colPtr[b]; t < a.colPtr[b+1]; t++ {
+				r := a.rowIdx[t]
+				lu.x[r] = a.colVal[t]
+				lu.touched = append(lu.touched, r)
+			}
+		} else {
+			r := b - int32(n)
+			lu.x[r] = 1
+			lu.touched = append(lu.touched, r)
+		}
+
+		// Apply prior eliminations in order; u_{jk} is the value at pivot
+		// row j after steps 0..j-1.
+		for j := 0; j < k; j++ {
+			t := lu.x[lu.pivRow[j]]
+			if t == 0 {
+				continue
+			}
+			lu.uElim = append(lu.uElim, int32(j))
+			lu.uVal = append(lu.uVal, t)
+			for e := lu.lPtr[j]; e < lu.lPtr[j+1]; e++ {
+				r := lu.lRow[e]
+				if lu.x[r] == 0 {
+					lu.touched = append(lu.touched, r)
+				}
+				lu.x[r] -= lu.lVal[e] * t
+			}
+		}
+		lu.uPtr[k+1] = int32(len(lu.uElim))
+
+		// Partial pivoting over the not-yet-pivoted rows.
+		pr := int32(-1)
+		pv := 0.0
+		for _, r := range lu.touched {
+			if lu.rowPos[r] >= 0 {
+				continue
+			}
+			if v := lu.x[r]; v > pv || -v > pv {
+				if v < 0 {
+					pv = -v
+				} else {
+					pv = v
+				}
+				pr = r
+			}
+		}
+		if pr < 0 || pv <= luSingularTol {
+			// Clean the scratch before reporting failure.
+			for _, r := range lu.touched {
+				lu.x[r] = 0
+			}
+			return errSingularBasis
+		}
+		piv := lu.x[pr]
+		lu.udiag[k] = piv
+		lu.pivRow[k] = pr
+		lu.rowPos[pr] = int32(k)
+		for _, r := range lu.touched {
+			v := lu.x[r]
+			lu.x[r] = 0
+			if r == pr || lu.rowPos[r] >= 0 {
+				continue
+			}
+			if v > luDropTol || v < -luDropTol {
+				lu.lRow = append(lu.lRow, r)
+				lu.lVal = append(lu.lVal, v/piv)
+			}
+		}
+		lu.lPtr[k+1] = int32(len(lu.lRow))
+	}
+	return nil
+}
+
+// ftran solves B z = v. v is dense, indexed by original row, and is
+// destroyed; out (length m, indexed by basis position) receives z.
+func (lu *luFactor) ftran(v []float64, out []float64) {
+	// Forward: apply the eliminations that were applied to the columns.
+	for j := 0; j < lu.m; j++ {
+		t := v[lu.pivRow[j]]
+		if t == 0 {
+			continue
+		}
+		for e := lu.lPtr[j]; e < lu.lPtr[j+1]; e++ {
+			v[lu.lRow[e]] -= lu.lVal[e] * t
+		}
+	}
+	// Backward: U out = w with w[k] = v[pivRow[k]].
+	for k := lu.m - 1; k >= 0; k-- {
+		t := v[lu.pivRow[k]] / lu.udiag[k]
+		out[k] = t
+		v[lu.pivRow[k]] = 0
+		if t == 0 {
+			continue
+		}
+		for e := lu.uPtr[k]; e < lu.uPtr[k+1]; e++ {
+			v[lu.pivRow[lu.uElim[e]]] -= lu.uVal[e] * t
+		}
+	}
+}
+
+// btran solves B'y = c. c is dense, indexed by basis position, and is
+// destroyed; y (length m, indexed by original row) receives the result.
+func (lu *luFactor) btran(c []float64, y []float64) {
+	// U' forward, in place in elimination space.
+	for k := 0; k < lu.m; k++ {
+		t := c[k]
+		for e := lu.uPtr[k]; e < lu.uPtr[k+1]; e++ {
+			t -= lu.uVal[e] * c[lu.uElim[e]]
+		}
+		c[k] = t / lu.udiag[k]
+	}
+	// Scatter to original rows, then L' in reverse elimination order.
+	for k := 0; k < lu.m; k++ {
+		y[lu.pivRow[k]] = c[k]
+		c[k] = 0
+	}
+	for j := lu.m - 1; j >= 0; j-- {
+		t := y[lu.pivRow[j]]
+		for e := lu.lPtr[j]; e < lu.lPtr[j+1]; e++ {
+			t -= lu.lVal[e] * y[lu.lRow[e]]
+		}
+		y[lu.pivRow[j]] = t
+	}
+}
+
+// etaFile is the product-form update file: after pivot t the basis is
+// B_t = B_0 · E_1 · ... · E_t where E_i is the identity with column
+// pos[i] replaced by the spike d_i = B_{i-1}^{-1} a_enter. Storage is
+// flattened and truncate-reset so steady-state refactorization cycles
+// allocate nothing.
+type etaFile struct {
+	ptr  []int32 // per-eta start into idx/val; len = count+1
+	idx  []int32 // basis positions i != pos with d_i != 0
+	val  []float64
+	pos  []int32
+	diag []float64 // d_pos per eta
+}
+
+func (ef *etaFile) count() int {
+	if len(ef.ptr) == 0 {
+		return 0
+	}
+	return len(ef.ptr) - 1
+}
+
+func (ef *etaFile) reset() {
+	if len(ef.ptr) == 0 {
+		ef.ptr = append(ef.ptr, 0)
+	}
+	ef.ptr = ef.ptr[:1]
+	ef.idx = ef.idx[:0]
+	ef.val = ef.val[:0]
+	ef.pos = ef.pos[:0]
+	ef.diag = ef.diag[:0]
+}
+
+// push appends an eta from the spike (dense, indexed by basis position).
+func (ef *etaFile) push(r int, spike []float64) {
+	if len(ef.ptr) == 0 {
+		ef.ptr = append(ef.ptr, 0)
+	}
+	for i, v := range spike {
+		if i == r || (v <= luDropTol && v >= -luDropTol) {
+			continue
+		}
+		ef.idx = append(ef.idx, int32(i))
+		ef.val = append(ef.val, v)
+	}
+	ef.ptr = append(ef.ptr, int32(len(ef.idx)))
+	ef.pos = append(ef.pos, int32(r))
+	ef.diag = append(ef.diag, spike[r])
+}
+
+// applyFtran applies one eta inverse: z ← E_e^{-1} z. FTRAN applies the
+// etas in creation order after the LU solve.
+func (ef *etaFile) applyFtran(e int, z []float64) {
+	r := ef.pos[e]
+	t := z[r]
+	if t == 0 {
+		return
+	}
+	t /= ef.diag[e]
+	z[r] = t
+	for k := ef.ptr[e]; k < ef.ptr[e+1]; k++ {
+		z[ef.idx[k]] -= ef.val[k] * t
+	}
+}
+
+// applyBtran solves E'w = c in place: every entry except position r is
+// unchanged, and c[r] ← (c[r] - sum_i d_i c_i) / d_r over i != r.
+func (ef *etaFile) applyBtran(e int, c []float64) {
+	r := ef.pos[e]
+	t := c[r]
+	for k := ef.ptr[e]; k < ef.ptr[e+1]; k++ {
+		t -= ef.val[k] * c[ef.idx[k]]
+	}
+	c[r] = t / ef.diag[e]
+}
+
+// grow32 returns s resized to n, reusing capacity.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+// growF returns s resized to n, reusing capacity.
+func growF(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}

@@ -9,12 +9,17 @@ import (
 	"afp/internal/obs"
 )
 
-// Incremental is a warm-startable LP solver for box-bounded problems. It
-// keeps the simplex tableau alive between solves so that after variable
-// bound changes — the only modification branch and bound ever makes — the
+// Incremental is a warm-startable LP solver for box-bounded problems,
+// built on the sparse revised simplex core. It keeps the basis
+// factorization alive between solves so that after variable bound
+// changes — the only modification branch and bound ever makes — the
 // previous optimal basis stays dual feasible and a handful of dual
-// simplex pivots restore primal feasibility, instead of a full two-phase
-// cold solve per node.
+// simplex pivots restore primal feasibility, instead of a full cold
+// solve per node.
+//
+// All working storage (LU factors, eta file, pivot scratch, the
+// returned Solution and its X vector) is preallocated, so a steady-state
+// SetBounds+SolveCtxReuse cycle performs zero heap allocations.
 //
 // Requirements: every variable with a negative objective coefficient (in
 // minimize sense) must have a finite upper bound, and every variable with
@@ -23,35 +28,20 @@ import (
 // (all variables live in finite boxes). NewIncremental returns
 // ErrUnboundedColumn otherwise; callers fall back to Problem.SolveOpts.
 type Incremental struct {
-	p *Problem
+	p       *Problem
+	core    *spxCore
+	o       *obs.Observer
+	maxIter int
+	solves  int
 
-	m, n    int // rows, structural columns
-	ncols   int // n + m slacks
-	sign    float64
-	cost    []float64 // minimize-sense objective, structural prefix
-	lb, ub  []float64 // per column (structural + slack)
-	rowRHS  []float64
-	origRow [][]Term // retained for rebuilds
+	// sol and xbuf are reused across SolveCtxReuse calls.
+	sol  Solution
+	xbuf []float64
 
-	T     [][]float64 // m x ncols current B^{-1}A
-	beta  []float64   // basic variable values
-	basis []int
-	state []varState
-	val   []float64 // current value of every nonbasic column
-	zrow  []float64
-
-	iter       int
-	solves     int
-	maxIter    int
-	blandLeft  int
-	degenCount int
-	solveDegen int // degenerate pivots within the current Solve
-	o          *obs.Observer
-
-	// done and cancelled mirror the cold solver's context handling: the
-	// channel of the Solve call's context, polled every few pivots.
-	done      <-chan struct{}
-	cancelled bool
+	// dirty lists the structural columns whose bounds changed since the
+	// last solve; refreshDirty re-rests exactly those.
+	dirty     []int32
+	dirtyMark []bool
 }
 
 // ErrUnboundedColumn reports that no dual-feasible starting point exists
@@ -69,181 +59,142 @@ func NewIncremental(p *Problem, opt Options) (*Incremental, error) {
 	if maxIter <= 0 {
 		maxIter = defaultMaxIter
 	}
-	n := len(p.names)
-	m := len(p.rows)
-	inc := &Incremental{
-		p: p, m: m, n: n, ncols: n + m, sign: 1,
-		maxIter: maxIter, o: opt.Obs,
-	}
+	a := p.compiled()
+	n, m := a.n, a.m
+	sign := 1.0
 	if p.maximize {
-		inc.sign = -1
+		sign = -1
 	}
-	inc.cost = make([]float64, inc.ncols)
-	inc.lb = make([]float64, inc.ncols)
-	inc.ub = make([]float64, inc.ncols)
+	cost := make([]float64, n+m)
+	lb := make([]float64, n+m)
+	ub := make([]float64, n+m)
+	rhs := make([]float64, m)
 	for j := 0; j < n; j++ {
-		inc.cost[j] = inc.sign * p.obj[j]
-		inc.lb[j] = p.lo[j]
-		inc.ub[j] = p.hi[j]
+		cost[j] = sign * p.obj[j]
+		lb[j] = p.lo[j]
+		ub[j] = p.hi[j]
 	}
-	// One slack per row: a.x + s = rhs with the slack range encoding the
-	// relation.
-	inc.rowRHS = make([]float64, m)
-	inc.origRow = make([][]Term, m)
 	for i := 0; i < m; i++ {
-		inc.rowRHS[i] = p.rhs[i]
-		inc.origRow[i] = append([]Term(nil), p.rows[i]...)
+		rhs[i] = p.rhs[i]
 		sj := n + i
 		switch p.ops[i] {
 		case LE:
-			inc.lb[sj], inc.ub[sj] = 0, math.Inf(1)
+			lb[sj], ub[sj] = 0, math.Inf(1)
 		case GE:
-			inc.lb[sj], inc.ub[sj] = math.Inf(-1), 0
+			lb[sj], ub[sj] = math.Inf(-1), 0
 		default:
-			inc.lb[sj], inc.ub[sj] = 0, 0
+			lb[sj], ub[sj] = 0, 0
 		}
 	}
-	if err := inc.rebuild(); err != nil {
-		return nil, err
+	core := newSpxCore(a, sign, cost, rhs, lb, ub)
+	if !core.restAll() {
+		return nil, ErrUnboundedColumn
+	}
+	core.refactor()
+	inc := &Incremental{
+		p: p, core: core, o: opt.Obs, maxIter: maxIter,
+		xbuf:      make([]float64, n),
+		dirty:     make([]int32, 0, n),
+		dirtyMark: make([]bool, n),
 	}
 	return inc, nil
 }
 
-// rebuild constructs the tableau from scratch with the all-slack basis
-// and dual-feasible nonbasic states.
-func (inc *Incremental) rebuild() error {
-	inc.T = make([][]float64, inc.m)
-	for i := 0; i < inc.m; i++ {
-		row := make([]float64, inc.ncols)
-		for _, t := range inc.origRow[i] {
-			row[t.Var] += t.Coef
-		}
-		row[inc.n+i] = 1
-		inc.T[i] = row
-	}
-	inc.basis = make([]int, inc.m)
-	inc.state = make([]varState, inc.ncols)
-	inc.val = make([]float64, inc.ncols)
-	inc.zrow = append([]float64(nil), inc.cost...)
-
-	for j := 0; j < inc.ncols; j++ {
-		if err := inc.restNonbasic(j); err != nil {
-			return err
-		}
-	}
-	for i := 0; i < inc.m; i++ {
-		sj := inc.n + i
-		inc.basis[i] = sj
-		inc.state[sj] = inBasis
-	}
-	inc.recomputeBeta()
-	return nil
-}
-
-// restNonbasic places column j on a dual-feasible finite bound.
-func (inc *Incremental) restNonbasic(j int) error {
-	c := inc.cost[j]
-	switch {
-	case c >= 0 && !math.IsInf(inc.lb[j], -1):
-		inc.state[j] = atLower
-		inc.val[j] = inc.lb[j]
-	case c <= 0 && !math.IsInf(inc.ub[j], 1):
-		inc.state[j] = atUpper
-		inc.val[j] = inc.ub[j]
-	case !math.IsInf(inc.lb[j], -1):
-		// c < 0 but only the lower bound is finite: dual infeasible start.
-		return ErrUnboundedColumn
-	case !math.IsInf(inc.ub[j], 1):
-		return ErrUnboundedColumn
-	default:
-		return ErrUnboundedColumn
-	}
-	return nil
-}
-
-// recomputeBeta refreshes the basic values from the nonbasic point.
-// Valid only immediately after rebuild, when T rows are original rows.
-func (inc *Incremental) recomputeBeta() {
-	inc.beta = make([]float64, inc.m)
-	for i := 0; i < inc.m; i++ {
-		v := inc.rowRHS[i]
-		for j := 0; j < inc.ncols; j++ {
-			if inc.state[j] != inBasis && inc.T[i][j] != 0 {
-				v -= inc.T[i][j] * inc.val[j]
-			}
-		}
-		inc.beta[i] = v
-	}
-}
-
-// SetBounds changes the bounds of structural variable v. Nonbasic
-// variables resting on a moved bound are shifted (updating the basic
-// values); basic variables simply acquire the new box and are repaired by
-// the next Solve.
+// SetBounds changes the bounds of structural variable v. The change is
+// recorded on a dirty list and applied at the next solve; unchanged
+// bounds are skipped so branch-and-bound's habit of rewriting every
+// integer box per node costs nothing for the untouched ones.
 func (inc *Incremental) SetBounds(v VarID, lo, hi float64) {
 	j := int(v)
 	if math.IsInf(lo, 0) || hi < lo {
 		panic(fmt.Sprintf("lp: invalid incremental bounds [%v, %v]", lo, hi))
 	}
-	inc.lb[j], inc.ub[j] = lo, hi
-	if inc.state[j] == inBasis {
+	c := inc.core
+	//vet:allow toleq -- exact no-op detection: identical bounds need no re-rest
+	if c.lb[j] == lo && c.ub[j] == hi {
 		return
 	}
-	// Re-rest the nonbasic variable inside the new box, preferring the
-	// bound it already sits on to minimize perturbation.
-	newVal := inc.val[j]
-	switch inc.state[j] {
-	case atLower:
-		newVal = lo
-	case atUpper:
-		if math.IsInf(hi, 1) {
-			inc.state[j] = atLower
-			newVal = lo
-		} else {
-			newVal = hi
-		}
-	}
-	if delta := newVal - inc.val[j]; delta != 0 {
-		for i := 0; i < inc.m; i++ {
-			if a := inc.T[i][j]; a != 0 {
-				inc.beta[i] -= a * delta
-			}
-		}
-		inc.val[j] = newVal
+	c.lb[j], c.ub[j] = lo, hi
+	if !inc.dirtyMark[j] {
+		inc.dirtyMark[j] = true
+		inc.dirty = append(inc.dirty, int32(j))
 	}
 }
 
+// refreshDirty re-rests every bound-changed nonbasic column inside its
+// new box, preferring the side it already sits on, and flips to the
+// opposite finite bound when the maintained reduced cost says the
+// current side is dual infeasible. Basic columns just acquire the new
+// box; the dual simplex repairs them.
+func (inc *Incremental) refreshDirty() {
+	c := inc.core
+	for _, j := range inc.dirty {
+		inc.dirtyMark[j] = false
+		if c.state[j] == inBasis {
+			continue
+		}
+		switch c.state[j] {
+		case atLower:
+			c.xval[j] = c.lb[j]
+		case atUpper:
+			if math.IsInf(c.ub[j], 1) {
+				c.state[j] = atLower
+				c.xval[j] = c.lb[j]
+			} else {
+				c.xval[j] = c.ub[j]
+			}
+		}
+		if c.state[j] == atLower && c.d[j] < -costTol && !math.IsInf(c.ub[j], 1) {
+			c.state[j] = atUpper
+			c.xval[j] = c.ub[j]
+		} else if c.state[j] == atUpper && c.d[j] > costTol {
+			c.state[j] = atLower
+			c.xval[j] = c.lb[j]
+		}
+	}
+	inc.dirty = inc.dirty[:0]
+}
+
 // Clone returns an independent copy of the solver sharing only the
-// immutable problem snapshot (constraint rows, right-hand sides,
-// objective). The clone starts from the same tableau and bounds, and
-// subsequent SetBounds/Solve calls on either side never affect the
-// other, so each branch-and-bound worker can carry its own warm basis
-// cloned from one root solver. Clone is not safe to call concurrently
-// with Solve or SetBounds on the receiver.
+// immutable problem snapshot (compiled matrix, costs, right-hand
+// sides). The clone starts from the same basis and bounds — its first
+// solve refactorizes — and subsequent SetBounds/Solve calls on either
+// side never affect the other, so each branch-and-bound worker can
+// carry its own warm basis cloned from one root solver. Clone is not
+// safe to call concurrently with Solve or SetBounds on the receiver.
 func (inc *Incremental) Clone() *Incremental {
-	c := &Incremental{
-		// Shared immutable snapshot: p (objective read-only), cost, rowRHS
-		// and origRow are never written after NewIncremental.
-		p: inc.p, m: inc.m, n: inc.n, ncols: inc.ncols, sign: inc.sign,
-		cost: inc.cost, rowRHS: inc.rowRHS, origRow: inc.origRow,
+	c := inc.core
+	nc := &spxCore{
+		a: c.a, m: c.m, n: c.n, ncols: c.ncols, sign: c.sign,
+		cost: c.cost, rhs: c.rhs, // shared, never written after construction
 
-		lb:    append([]float64(nil), inc.lb...),
-		ub:    append([]float64(nil), inc.ub...),
-		beta:  append([]float64(nil), inc.beta...),
-		basis: append([]int(nil), inc.basis...),
-		state: append([]varState(nil), inc.state...),
-		val:   append([]float64(nil), inc.val...),
-		zrow:  append([]float64(nil), inc.zrow...),
+		lb:    append([]float64(nil), c.lb...),
+		ub:    append([]float64(nil), c.ub...),
+		state: append([]varState(nil), c.state...),
+		xval:  append([]float64(nil), c.xval...),
+		basis: append([]int32(nil), c.basis...),
+		beta:  append([]float64(nil), c.beta...),
+		d:     append([]float64(nil), c.d...),
 
-		iter: inc.iter, solves: inc.solves, maxIter: inc.maxIter,
-		blandLeft: inc.blandLeft, degenCount: inc.degenCount,
-		o: inc.o,
+		rho:     make([]float64, c.m),
+		erow:    make([]float64, c.m),
+		spike:   make([]float64, c.m),
+		work:    make([]float64, c.m),
+		alpha:   make([]float64, c.ncols),
+		touched: make([]int32, 0, c.ncols),
+		amark:   make([]bool, c.ncols),
+
+		degenStreak:  c.degenStreak,
+		blandLeft:    c.blandLeft,
+		needRefactor: true,
 	}
-	c.T = make([][]float64, inc.m)
-	for i := range inc.T {
-		c.T[i] = append([]float64(nil), inc.T[i]...)
+	nc.etas.reset()
+	return &Incremental{
+		p: inc.p, core: nc, o: inc.o, maxIter: inc.maxIter, solves: inc.solves,
+		xbuf:      make([]float64, c.n),
+		dirty:     append(make([]int32, 0, c.n), inc.dirty...),
+		dirtyMark: append([]bool(nil), inc.dirtyMark...),
 	}
-	return c
 }
 
 // Solve restores primal feasibility by dual simplex pivots and returns
@@ -253,224 +204,72 @@ func (inc *Incremental) Solve() (*Solution, error) {
 }
 
 // SolveCtx is Solve under a context: the dual simplex loop polls
-// ctx.Done() every few pivots and aborts with ctx.Err(). The tableau is
+// ctx.Done() every few pivots and aborts with ctx.Err(). The basis is
 // left in a consistent (dual feasible) state, so a later SolveCtx with a
-// live context resumes the repair.
+// live context resumes the repair. The returned solution shares no
+// state with the solver.
 func (inc *Incremental) SolveCtx(ctx context.Context) (*Solution, error) {
+	sol, err := inc.SolveCtxReuse(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := new(Solution)
+	*out = *sol
+	out.X = append([]float64(nil), sol.X...)
+	return out, nil
+}
+
+// SolveCtxReuse is SolveCtx for the hot path: the returned Solution and
+// its X vector are owned by the solver and overwritten by the next
+// SolveCtxReuse call. Steady-state calls perform no heap allocations;
+// callers that keep values across solves must copy them first.
+func (inc *Incremental) SolveCtxReuse(ctx context.Context) (*Solution, error) {
 	start := time.Now()
-	inc.solves++
-	inc.solveDegen = 0
-	inc.done = ctx.Done()
-	inc.cancelled = false
-	// Periodic full rebuild bounds numerical drift from long pivot chains.
-	if inc.solves%256 == 0 {
-		if err := inc.rebuild(); err != nil {
-			return nil, err
+	c := inc.core
+	c.done = ctx.Done()
+	if c.done != nil {
+		select {
+		case <-c.done:
+			return nil, ctx.Err()
+		default:
 		}
 	}
-	iterStart := inc.iter
-	st := inc.dualSimplex()
-	if inc.cancelled {
+	inc.solves++
+	c.refactors = 0
+	if c.needRefactor || c.etas.count() >= maxEtas {
+		c.refactor()
+	}
+	inc.refreshDirty()
+	c.computeBeta()
+	st := c.dualLoop(inc.maxIter)
+	if c.cancelled {
 		return nil, ctx.Err()
 	}
-	sol := &Solution{Status: st, Iterations: inc.iter - iterStart, DegeneratePivots: inc.solveDegen}
+	sol := &inc.sol
+	*sol = Solution{
+		Status:           st,
+		Iterations:       c.iters,
+		DegeneratePivots: c.degenPivots,
+		DualPivots:       c.iters,
+		Refactorizations: c.refactors,
+	}
 	if st == StatusOptimal || st == StatusIterLimit {
-		x := make([]float64, inc.n)
-		for j := 0; j < inc.n; j++ {
-			if inc.state[j] == inBasis {
-				continue
-			}
-			x[j] = inc.val[j]
-		}
-		for i, b := range inc.basis {
-			if b < inc.n {
-				x[b] = inc.beta[i]
-			}
-		}
+		c.extractX(inc.xbuf)
 		obj := 0.0
-		for j := 0; j < inc.n; j++ {
-			obj += inc.p.obj[j] * x[j]
+		for j := 0; j < c.n; j++ {
+			obj += c.sign * c.cost[j] * inc.xbuf[j]
 		}
-		sol.X = x
+		sol.X = inc.xbuf
 		sol.Objective = obj
 	}
 	if inc.o.Enabled() {
 		inc.o.Emit(obs.Event{
 			Kind: obs.KindLPSolve, Status: st.String(), Obj: sol.Objective,
-			Iters: sol.Iterations, Degenerate: inc.solveDegen,
+			Iters: sol.Iterations, Degenerate: sol.DegeneratePivots,
+			DualPivots: sol.DualPivots, Refactors: sol.Refactorizations,
 			DurUS: time.Since(start).Microseconds(), Warm: true,
 			Span: obs.SpanID(ctx),
 		})
 	}
 	return sol, nil
-}
-
-// dualSimplex pivots until the basic values return inside their boxes.
-func (inc *Incremental) dualSimplex() Status {
-	iterStart := inc.iter
-	for {
-		if inc.iter-iterStart >= inc.maxIter {
-			return StatusIterLimit
-		}
-		if inc.done != nil && inc.iter&cancelPollMask == 0 {
-			select {
-			case <-inc.done:
-				inc.cancelled = true
-				return StatusIterLimit
-			default:
-			}
-		}
-		// Leaving choice: most violated basic.
-		leave := -1
-		var viol float64
-		var needIncrease bool
-		for i := 0; i < inc.m; i++ {
-			b := inc.basis[i]
-			if d := inc.lb[b] - inc.beta[i]; d > viol+zeroTol {
-				viol, leave, needIncrease = d, i, true
-			}
-			if d := inc.beta[i] - inc.ub[b]; d > viol+zeroTol {
-				viol, leave, needIncrease = d, i, false
-			}
-		}
-		if leave < 0 {
-			return StatusOptimal
-		}
-		if !inc.dualPivot(leave, needIncrease) {
-			return StatusInfeasible
-		}
-		inc.iter++
-	}
-}
-
-// dualPivot performs one dual simplex pivot on the given row. When the
-// basic variable must increase (below its lower bound), an entering
-// nonbasic is sought that can push it up while keeping dual feasibility;
-// symmetric for decrease. Returns false when no entering column exists —
-// the primal is infeasible.
-func (inc *Incremental) dualPivot(r int, needIncrease bool) bool {
-	row := inc.T[r]
-	bland := inc.blandLeft > 0
-	enter := -1
-	bestRatio := math.Inf(1)
-	bestAbs := 0.0
-	for j := 0; j < inc.ncols; j++ {
-		if inc.state[j] == inBasis {
-			continue
-		}
-		a := row[j]
-		if a == 0 {
-			continue
-		}
-		var ok bool
-		var ratio float64
-		if needIncrease {
-			// Basic increases when an at-lower variable with a<0 rises, or an
-			// at-upper variable with a>0 falls.
-			if inc.state[j] == atLower && a < -pivTol {
-				ok, ratio = true, inc.zrow[j]/(-a)
-			} else if inc.state[j] == atUpper && a > pivTol {
-				ok, ratio = true, (-inc.zrow[j])/a
-			}
-		} else {
-			if inc.state[j] == atLower && a > pivTol {
-				ok, ratio = true, inc.zrow[j]/a
-			} else if inc.state[j] == atUpper && a < -pivTol {
-				ok, ratio = true, (-inc.zrow[j])/(-a)
-			}
-		}
-		if !ok {
-			continue
-		}
-		if ratio < -1e-7 {
-			// Numerical dual infeasibility; treat as zero ratio.
-			ratio = 0
-		}
-		take := false
-		switch {
-		case bland:
-			take = enter < 0 || j < enter
-		case ratio < bestRatio-zeroTol:
-			take = true
-		case ratio <= bestRatio+zeroTol && math.Abs(a) > bestAbs:
-			take = true
-		}
-		if take {
-			enter, bestRatio, bestAbs = j, ratio, math.Abs(a)
-		}
-	}
-	if enter < 0 {
-		return false
-	}
-	if bestRatio < zeroTol {
-		inc.solveDegen++
-		inc.degenCount++
-		if inc.degenCount > 200 && inc.blandLeft == 0 {
-			inc.blandLeft = 500
-		}
-	} else {
-		inc.degenCount = 0
-		if inc.blandLeft > 0 {
-			inc.blandLeft--
-		}
-	}
-
-	b := inc.basis[r]
-	var target float64
-	if needIncrease {
-		target = inc.lb[b]
-	} else {
-		target = inc.ub[b]
-	}
-	aE := row[enter]
-	deltaE := (inc.beta[r] - target) / aE
-
-	// Move the entering variable; all other basics adjust.
-	for i := 0; i < inc.m; i++ {
-		if i != r {
-			if a := inc.T[i][enter]; a != 0 {
-				inc.beta[i] -= a * deltaE
-			}
-		}
-	}
-	enterVal := inc.val[enter] + deltaE
-
-	// Leaving variable rests on the violated bound.
-	if needIncrease {
-		inc.state[b] = atLower
-		inc.val[b] = inc.lb[b]
-	} else {
-		inc.state[b] = atUpper
-		inc.val[b] = inc.ub[b]
-	}
-	inc.state[enter] = inBasis
-	inc.basis[r] = enter
-	inc.beta[r] = enterVal
-
-	// Gaussian pivot.
-	invA := 1 / aE
-	for j := 0; j < inc.ncols; j++ {
-		row[j] *= invA
-	}
-	for i := 0; i < inc.m; i++ {
-		if i == r {
-			continue
-		}
-		f := inc.T[i][enter]
-		if f == 0 {
-			continue
-		}
-		ti := inc.T[i]
-		for j := 0; j < inc.ncols; j++ {
-			ti[j] -= f * row[j]
-		}
-		ti[enter] = 0
-	}
-	if f := inc.zrow[enter]; f != 0 {
-		for j := 0; j < inc.ncols; j++ {
-			inc.zrow[j] -= f * row[j]
-		}
-		inc.zrow[enter] = 0
-	}
-	return true
 }

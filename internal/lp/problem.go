@@ -1,5 +1,5 @@
-// Package lp implements a dense, bounded-variable, two-phase primal
-// simplex solver for linear programs
+// Package lp implements bounded-variable simplex solvers for linear
+// programs
 //
 //	minimize    c'x
 //	subject to  a_i'x {<=,>=,=} b_i   for every constraint i
@@ -11,11 +11,20 @@
 // instances and the 0-1 variables are handled by the branch-and-bound
 // layer in package milp.
 //
-// The implementation is a textbook full-tableau bounded-variable simplex
-// with Dantzig pricing, a Bland anti-cycling fallback, and explicit
-// infeasibility/unboundedness detection. All variables must have a finite
-// lower bound, which every floorplanning variable naturally has
-// (coordinates and heights are non-negative, binaries live in [0,1]).
+// Two engines share the Problem model. The primary one is a sparse
+// revised simplex (CSC constraint matrix, LU-factorized basis with
+// product-form eta updates, BTRAN/FTRAN pricing) running a
+// bounded-variable dual simplex from a dual-feasible rest point; it
+// serves every problem whose improving columns have finite bounds —
+// all floorplanning subproblems — both cold and warm through
+// Incremental. Problems outside that class (a negative-cost column
+// with an infinite upper bound) fall back to the dense full-tableau
+// two-phase primal simplex with Dantzig pricing and a Bland
+// anti-cycling guard, which is also the differential-test oracle for
+// the sparse kernel (build tag lpdense forces it everywhere). All
+// variables must have a finite lower bound, which every floorplanning
+// variable naturally has (coordinates and heights are non-negative,
+// binaries live in [0,1]).
 package lp
 
 import (
@@ -74,6 +83,13 @@ type Problem struct {
 	rhs      []float64
 
 	maximize bool
+
+	// comp caches the sparse (CSC+CSR) form of the constraint matrix;
+	// version is bumped by every structural edit and compVersion records
+	// the version comp was built at. Clones share the immutable comp.
+	comp        *compiled
+	compVersion uint64
+	version     uint64
 }
 
 // NewProblem returns an empty minimization problem.
@@ -100,6 +116,7 @@ func (p *Problem) AddVariable(name string, lo, hi, cost float64) VarID {
 	p.lo = append(p.lo, lo)
 	p.hi = append(p.hi, hi)
 	p.obj = append(p.obj, cost)
+	p.version++
 	return VarID(len(p.names) - 1)
 }
 
@@ -145,6 +162,7 @@ func (p *Problem) AddConstraint(name string, terms []Term, op Op, rhs float64) C
 	p.rows = append(p.rows, own)
 	p.ops = append(p.ops, op)
 	p.rhs = append(p.rhs, rhs)
+	p.version++
 	return ConID(len(p.rows) - 1)
 }
 
@@ -167,6 +185,7 @@ func (p *Problem) SetConstraint(c ConID, terms []Term, op Op, rhs float64) {
 	p.rows[c] = append([]Term(nil), terms...)
 	p.ops[c] = op
 	p.rhs[c] = rhs
+	p.version++
 }
 
 // Clone returns a deep copy of the problem. Branch-and-bound nodes clone
@@ -181,6 +200,13 @@ func (p *Problem) Clone() *Problem {
 		ops:      append([]Op(nil), p.ops...),
 		rhs:      append([]float64(nil), p.rhs...),
 		maximize: p.maximize,
+
+		// The compiled matrix is immutable, so the clone shares it until
+		// either side makes a structural edit (which bumps version and
+		// recompiles lazily on that side only).
+		comp:        p.comp,
+		compVersion: p.compVersion,
+		version:     p.version,
 	}
 	q.rows = make([][]Term, len(p.rows))
 	for i, r := range p.rows {
@@ -269,6 +295,12 @@ type Solution struct {
 	// BoundFlips counts pivots where the entering variable traversed its
 	// whole range without a basis change.
 	BoundFlips int
+	// DualPivots counts dual simplex pivots (all of Iterations on the
+	// sparse revised path; zero on the dense primal path).
+	DualPivots int
+	// Refactorizations counts basis LU refactorizations performed by the
+	// sparse revised simplex during this solve.
+	Refactorizations int
 
 	// Duals holds one dual value per constraint (in AddConstraint order)
 	// and ReducedCosts one reduced cost per variable, both in the
@@ -314,9 +346,19 @@ func (p *Problem) SolveOpts(opt Options) (*Solution, error) {
 // ctx.Done() every few pivots and aborts with ctx.Err() when the context
 // is cancelled or its deadline passes. A context without a Done channel
 // (context.Background()) costs nothing on the pivot path.
+//
+// Problems whose improving columns all have finite bounds — every
+// floorplanning subproblem — are solved by the sparse revised dual
+// simplex; the rest (and all solves under the lpdense build tag) go
+// through the dense two-phase primal simplex.
 func (p *Problem) SolveCtx(ctx context.Context, opt Options) (*Solution, error) {
 	if len(p.names) == 0 {
 		return nil, ErrBadModel
+	}
+	if sparseSolvable(p) {
+		if sol, err, ok := solveSparse(ctx, p, opt); ok {
+			return sol, err
+		}
 	}
 	return solveSimplex(ctx, p, opt)
 }

@@ -1,0 +1,684 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"afp/internal/obs"
+)
+
+// Sparse revised simplex tolerances and policy knobs.
+const (
+	// dualLeaveTol is the primal infeasibility a basic variable must
+	// exceed to be selected for leaving; it bounds the bound violation of
+	// any variable at termination.
+	dualLeaveTol = 1e-7
+	// spikeAgreeTol guards the row/column agreement check: the pivot
+	// element computed via BTRAN (alpha) and via FTRAN (spike) must match
+	// or the factorization is refreshed and the pivot re-attempted.
+	spikeAgreeTol = 1e-7
+	// maxEtas bounds the product-form file before a refactorization.
+	maxEtas = 64
+	// perturbAfterDegen is the run of consecutive degenerate pivots after
+	// which deterministic dual-cost perturbation kicks in (on top of the
+	// earlier Bland fallback) to break cycling on massively degenerate
+	// instances. Perturbations stay far below costTol and are washed out
+	// by the next refactorization's exact recompute of the duals.
+	perturbAfterDegen = 2000
+)
+
+// spxCore is the sparse revised dual simplex over a compiled constraint
+// matrix. Columns 0..n-1 are structural (CSC columns of A); columns
+// n..n+m-1 are the unit slack columns, one per row, whose bounds encode
+// the row relation (LE: [0,inf), GE: (-inf,0], EQ: [0,0]).
+//
+// The basis is represented by an LU factorization plus a product-form
+// eta file instead of a dense B^{-1}A tableau: pricing solves one BTRAN
+// per pivot to scatter the leaving row, and one FTRAN for the entering
+// spike. All working storage is preallocated at construction so a
+// SetBounds+Solve warm cycle runs allocation-free.
+type spxCore struct {
+	a     *compiled
+	m, n  int
+	ncols int
+	sign  float64   // +1 minimize, -1 maximize (internal sense is minimize)
+	cost  []float64 // minimize-sense costs, slacks zero
+	rhs   []float64
+
+	lb, ub []float64  // per column
+	state  []varState // per column
+	xval   []float64  // resting value of every nonbasic column
+	basis  []int32    // basis position -> column
+	beta   []float64  // basic values, by basis position
+	d      []float64  // reduced costs, maintained across pivots
+
+	lu   luFactor
+	etas etaFile
+
+	// Preallocated per-pivot scratch.
+	rho     []float64 // BTRAN of the leaving unit vector, by original row
+	erow    []float64 // unit vector input to BTRAN, by basis position
+	spike   []float64 // FTRAN of the entering column, by basis position
+	work    []float64 // dense by original row
+	alpha   []float64 // leaving row of B^{-1}A, by column; cleared per pivot
+	touched []int32   // columns with nonzero alpha this pivot
+	amark   []bool    // touched-membership; alpha==0 alone cannot detect it,
+	// since partial sums across rows can transiently cancel to exact zero
+	// and a duplicate touched entry would double the dual update
+
+	// Counters for the current solve.
+	iters        int
+	degenPivots  int
+	refactors    int
+	degenStreak  int
+	blandLeft    int
+	perturbed    bool
+	needRefactor bool
+
+	done      <-chan struct{}
+	cancelled bool
+}
+
+// newSpxCore builds a core over the compiled matrix with the given
+// per-column data already split out by the caller.
+func newSpxCore(a *compiled, sign float64, cost, rhs, lb, ub []float64) *spxCore {
+	m, n := a.m, a.n
+	c := &spxCore{
+		a: a, m: m, n: n, ncols: n + m, sign: sign,
+		cost: cost, rhs: rhs, lb: lb, ub: ub,
+		state: make([]varState, n+m),
+		xval:  make([]float64, n+m),
+		basis: make([]int32, m),
+		beta:  make([]float64, m),
+		d:     make([]float64, n+m),
+
+		rho:     make([]float64, m),
+		erow:    make([]float64, m),
+		spike:   make([]float64, m),
+		work:    make([]float64, m),
+		alpha:   make([]float64, n+m),
+		touched: make([]int32, 0, n+m),
+		amark:   make([]bool, n+m),
+	}
+	c.etas.reset()
+	return c
+}
+
+// restAll places every column on a dual-feasible finite bound and
+// installs the all-slack basis. Returns false when some column with a
+// strictly negative cost has no finite upper bound to rest on — the
+// caller falls back to the dense two-phase solver.
+func (c *spxCore) restAll() bool {
+	for j := 0; j < c.ncols; j++ {
+		if !c.restColumn(j) {
+			return false
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		sj := int32(c.n + i)
+		c.basis[i] = sj
+		c.state[sj] = inBasis
+	}
+	c.needRefactor = true
+	return true
+}
+
+// restColumn mirrors the dense solver's dual-feasible rest rule.
+func (c *spxCore) restColumn(j int) bool {
+	cj := c.cost[j]
+	switch {
+	case cj >= 0 && !math.IsInf(c.lb[j], -1):
+		c.state[j] = atLower
+		c.xval[j] = c.lb[j]
+	case cj <= 0 && !math.IsInf(c.ub[j], 1):
+		c.state[j] = atUpper
+		c.xval[j] = c.ub[j]
+	default:
+		return false
+	}
+	return true
+}
+
+// refactor rebuilds the LU factorization of the current basis, resets
+// the eta file and recomputes the reduced costs exactly. A singular
+// basis falls back to the all-slack basis (which always factors).
+func (c *spxCore) refactor() {
+	c.refactors++
+	if err := c.lu.factorBasis(c.a, c.basis, c.n); err != nil {
+		// Numerically singular basis: drop it entirely and restart from
+		// the all-slack basis, re-resting every displaced column. A rest
+		// rule failure (negative cost, infinite upper bound on a basic
+		// column) cannot happen on the paths that reach here — restAll
+		// succeeded at construction — but rest at the finite lower bound
+		// as a last resort rather than corrupt the state.
+		for i := 0; i < c.m; i++ {
+			b := c.basis[i]
+			if !c.restColumn(int(b)) {
+				c.state[b] = atLower
+				c.xval[b] = c.lb[b]
+			}
+		}
+		for i := 0; i < c.m; i++ {
+			sj := int32(c.n + i)
+			c.basis[i] = sj
+			c.state[sj] = inBasis
+		}
+		if err := c.lu.factorBasis(c.a, c.basis, c.n); err != nil {
+			panic("lp: slack basis failed to factor")
+		}
+	}
+	c.etas.reset()
+	c.computeDuals()
+	c.needRefactor = false
+	c.perturbed = false
+}
+
+// computeDuals refreshes d from the cost vector through the current
+// factorization: y = B^{-T} c_B, d_j = c_j - y'a_j, with d == 0 on basic
+// columns. The simplex prices on y via c.work (indexed by original row).
+func (c *spxCore) computeDuals() {
+	for i := 0; i < c.m; i++ {
+		c.erow[i] = c.cost[c.basis[i]]
+	}
+	c.btranFull(c.erow, c.work)
+	y := c.work
+	for j := 0; j < c.ncols; j++ {
+		if c.state[j] == inBasis {
+			c.d[j] = 0
+			continue
+		}
+		if j < c.n {
+			dj := c.cost[j]
+			for t := c.a.colPtr[j]; t < c.a.colPtr[j+1]; t++ {
+				dj -= y[c.a.rowIdx[t]] * c.a.colVal[t]
+			}
+			c.d[j] = dj
+		} else {
+			c.d[j] = -y[j-c.n]
+		}
+	}
+}
+
+// computeBeta refreshes the basic values from the resting nonbasic
+// point: beta = B^{-1}(rhs - N x_N).
+func (c *spxCore) computeBeta() {
+	copy(c.work, c.rhs)
+	for j := 0; j < c.n; j++ {
+		if c.state[j] == inBasis {
+			continue
+		}
+		if v := c.xval[j]; v != 0 {
+			for t := c.a.colPtr[j]; t < c.a.colPtr[j+1]; t++ {
+				c.work[c.a.rowIdx[t]] -= c.a.colVal[t] * v
+			}
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		sj := c.n + i
+		if c.state[sj] != inBasis {
+			if v := c.xval[sj]; v != 0 {
+				c.work[i] -= v
+			}
+		}
+	}
+	c.ftranFull(c.work, c.beta)
+}
+
+// ftranFull solves B z = v through the LU factors and the eta file.
+// v (by original row) is destroyed; out is by basis position.
+func (c *spxCore) ftranFull(v, out []float64) {
+	c.lu.ftran(v, out)
+	for e := 0; e < c.etas.count(); e++ {
+		c.etas.applyFtran(e, out)
+	}
+}
+
+// btranFull solves B'y = cvec through the eta file (reverse order) and
+// the LU factors. cvec (by basis position) is destroyed; y is by
+// original row.
+func (c *spxCore) btranFull(cvec, y []float64) {
+	for e := c.etas.count() - 1; e >= 0; e-- {
+		c.etas.applyBtran(e, cvec)
+	}
+	c.lu.btran(cvec, y)
+}
+
+// scatterColumn writes column j of [A | I] into the dense work vector
+// (by original row), which must be zero on entry.
+func (c *spxCore) scatterColumn(j int) {
+	if j < c.n {
+		for t := c.a.colPtr[j]; t < c.a.colPtr[j+1]; t++ {
+			c.work[c.a.rowIdx[t]] = c.a.colVal[t]
+		}
+	} else {
+		c.work[j-c.n] = 1
+	}
+}
+
+// dualLoop pivots until every basic value lies inside its box. It
+// assumes beta and d are consistent with the current basis. maxIter
+// bounds the pivots of this call.
+func (c *spxCore) dualLoop(maxIter int) Status {
+	c.iters = 0
+	c.degenPivots = 0
+	c.cancelled = false
+	for {
+		if c.iters >= maxIter {
+			return StatusIterLimit
+		}
+		if c.done != nil && c.iters&cancelPollMask == 0 {
+			select {
+			case <-c.done:
+				c.cancelled = true
+				return StatusIterLimit
+			default:
+			}
+		}
+		if c.etas.count() >= maxEtas {
+			c.refactor()
+			c.computeBeta()
+		}
+
+		// Leaving choice: most violated basic variable.
+		leave := -1
+		viol := dualLeaveTol
+		var needIncrease bool
+		for i := 0; i < c.m; i++ {
+			b := c.basis[i]
+			if dv := c.lb[b] - c.beta[i]; dv > viol {
+				viol, leave, needIncrease = dv, i, true
+			}
+			if dv := c.beta[i] - c.ub[b]; dv > viol {
+				viol, leave, needIncrease = dv, i, false
+			}
+		}
+		if leave < 0 {
+			return StatusOptimal
+		}
+		switch c.dualPivot(leave, needIncrease) {
+		case pivotOK:
+			c.iters++
+		case pivotInfeasible:
+			return StatusInfeasible
+		case pivotRetry:
+			// Factorization was refreshed; re-price and try again.
+		case pivotStuck:
+			return StatusIterLimit
+		}
+	}
+}
+
+type pivotResult int
+
+const (
+	pivotOK pivotResult = iota
+	pivotInfeasible
+	pivotRetry
+	pivotStuck
+)
+
+// dualPivot performs one dual simplex pivot on basis row r. The ratio
+// test is the dense solver's, with the leaving row alpha = rho'A
+// scattered from the CSR rows that rho touches instead of read from a
+// tableau.
+func (c *spxCore) dualPivot(r int, needIncrease bool) pivotResult {
+	// rho = B^{-T} e_r, then alpha_j = rho'a_j over nonbasic columns.
+	for i := 0; i < c.m; i++ {
+		c.erow[i] = 0
+	}
+	c.erow[r] = 1
+	c.btranFull(c.erow, c.rho)
+
+	c.touched = c.touched[:0]
+	for i := 0; i < c.m; i++ {
+		ri := c.rho[i]
+		if ri == 0 {
+			continue
+		}
+		for t := c.a.rowPtr[i]; t < c.a.rowPtr[i+1]; t++ {
+			j := c.a.colIdx[t]
+			if c.state[j] == inBasis {
+				continue
+			}
+			if !c.amark[j] {
+				c.amark[j] = true
+				c.touched = append(c.touched, j)
+			}
+			c.alpha[j] += ri * c.a.rowVal[t]
+		}
+		sj := int32(c.n + i)
+		if c.state[sj] != inBasis {
+			if !c.amark[sj] {
+				c.amark[sj] = true
+				c.touched = append(c.touched, sj)
+			}
+			c.alpha[sj] += ri
+		}
+	}
+
+	bland := c.blandLeft > 0
+	enter := int32(-1)
+	bestRatio := math.Inf(1)
+	bestAbs := 0.0
+	for _, j := range c.touched {
+		a := c.alpha[j]
+		if a == 0 {
+			continue
+		}
+		// Fixed columns (EQ slacks, B&B-fixed integers) cannot move off
+		// their point, so they can neither repair the violated row nor
+		// bound the dual ray; their reduced-cost sign is unconstrained
+		// and admitting them corrupts the dual update.
+		//vet:allow toleq -- exact fixed-column detection, bounds are set identically
+		if c.lb[j] == c.ub[j] {
+			continue
+		}
+		var ok bool
+		var ratio float64
+		z := c.d[j]
+		if c.perturbed {
+			z += perturbation(int(j), c.state[j])
+		}
+		if needIncrease {
+			// The basic variable increases when an at-lower nonbasic with
+			// alpha<0 rises, or an at-upper nonbasic with alpha>0 falls.
+			if c.state[j] == atLower && a < -pivTol {
+				ok, ratio = true, z/(-a)
+			} else if c.state[j] == atUpper && a > pivTol {
+				ok, ratio = true, (-z)/a
+			}
+		} else {
+			if c.state[j] == atLower && a > pivTol {
+				ok, ratio = true, z/a
+			} else if c.state[j] == atUpper && a < -pivTol {
+				ok, ratio = true, (-z)/(-a)
+			}
+		}
+		if !ok {
+			continue
+		}
+		if ratio < -1e-7 {
+			// Numerical dual infeasibility; treat as zero ratio.
+			ratio = 0
+		}
+		take := false
+		switch {
+		case bland:
+			take = enter < 0 || j < enter
+		case ratio < bestRatio-zeroTol:
+			take = true
+		case ratio <= bestRatio+zeroTol && (a > bestAbs || -a > bestAbs):
+			take = true
+		}
+		if take {
+			enter, bestRatio = j, ratio
+			if bestAbs = a; a < 0 {
+				bestAbs = -a
+			}
+		}
+	}
+	if enter < 0 {
+		c.clearAlpha()
+		return pivotInfeasible
+	}
+	alphaE := c.alpha[enter]
+
+	// Entering spike via FTRAN; cross-check the pivot element computed
+	// both ways and refresh the factorization on disagreement.
+	for i := 0; i < c.m; i++ {
+		c.work[i] = 0
+	}
+	c.scatterColumn(int(enter))
+	c.ftranFull(c.work, c.spike)
+	diff := c.spike[r] - alphaE
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := alphaE
+	if scale < 0 {
+		scale = -scale
+	}
+	if diff > spikeAgreeTol*(1+scale) || c.spike[r] == 0 {
+		c.clearAlpha()
+		if c.etas.count() > 0 {
+			c.refactor()
+			c.computeBeta()
+			return pivotRetry
+		}
+		// Fresh factors and the two pivot computations still disagree:
+		// the basis is too ill-conditioned to continue safely.
+		return pivotStuck
+	}
+
+	// Degeneracy bookkeeping and anti-cycling escalation.
+	if bestRatio < zeroTol {
+		c.degenPivots++
+		c.degenStreak++
+		if c.degenStreak > 200 && c.blandLeft == 0 {
+			c.blandLeft = 500
+		}
+		if c.degenStreak > perturbAfterDegen {
+			c.perturbed = true
+		}
+	} else {
+		c.degenStreak = 0
+		if c.blandLeft > 0 {
+			c.blandLeft--
+		}
+	}
+
+	// Dual update over the touched columns: theta_d = d_e / alpha_e.
+	thetaD := c.d[enter] / alphaE
+	if thetaD != 0 {
+		for _, j := range c.touched {
+			if j == enter || c.state[j] == inBasis {
+				continue
+			}
+			c.d[j] -= thetaD * c.alpha[j]
+		}
+	}
+	b := c.basis[r]
+	c.d[b] = -thetaD
+	c.d[enter] = 0
+
+	// Primal update: the entering variable moves by theta_p, driving the
+	// leaving basic exactly to its violated bound.
+	var target float64
+	if needIncrease {
+		target = c.lb[b]
+	} else {
+		target = c.ub[b]
+	}
+	thetaP := (c.beta[r] - target) / c.spike[r]
+	for i := 0; i < c.m; i++ {
+		if i != r {
+			if s := c.spike[i]; s != 0 {
+				c.beta[i] -= s * thetaP
+			}
+		}
+	}
+	c.beta[r] = c.xval[enter] + thetaP
+
+	if needIncrease {
+		c.state[b] = atLower
+		c.xval[b] = c.lb[b]
+	} else {
+		c.state[b] = atUpper
+		c.xval[b] = c.ub[b]
+	}
+	c.state[enter] = inBasis
+	c.basis[r] = enter
+
+	c.etas.push(r, c.spike)
+	c.clearAlpha()
+	return pivotOK
+}
+
+func (c *spxCore) clearAlpha() {
+	for _, j := range c.touched {
+		c.alpha[j] = 0
+		c.amark[j] = false
+	}
+	c.touched = c.touched[:0]
+}
+
+// perturbation is a deterministic, column-dependent dual-cost nudge in
+// the dual-feasible direction, far below costTol. It only biases pivot
+// selection; the next refactorization recomputes d exactly.
+func perturbation(j int, st varState) float64 {
+	e := 1e-10 * float64(1+j%17)
+	if st == atUpper {
+		return -e
+	}
+	return e
+}
+
+// extractX writes the primal point into x (length n), clamping tiny
+// bound excursions the way the dense solver's extract does.
+func (c *spxCore) extractX(x []float64) {
+	for j := 0; j < c.n; j++ {
+		if c.state[j] != inBasis {
+			x[j] = c.xval[j]
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		b := c.basis[i]
+		if int(b) >= c.n {
+			continue
+		}
+		v := c.beta[i]
+		if lo := c.lb[b]; v < lo && v > lo-feasTol {
+			v = lo
+		}
+		if hi := c.ub[b]; v > hi && v < hi+feasTol {
+			v = hi
+		}
+		x[b] = v
+	}
+}
+
+// sparseSolvable reports whether the problem admits a dual-feasible
+// all-nonbasic rest: every column with a strictly negative minimize-
+// sense cost needs a finite upper bound (lower bounds are always finite
+// in this package).
+func sparseSolvable(p *Problem) bool {
+	if forceDense {
+		return false
+	}
+	sign := 1.0
+	if p.maximize {
+		sign = -1
+	}
+	for j := range p.obj {
+		if sign*p.obj[j] < 0 && math.IsInf(p.hi[j], 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// solveSparse is the cold solve on the revised simplex: rest every
+// column dual-feasibly, start from the all-slack basis and run the dual
+// simplex to optimality. Returns ok=false when no dual-feasible rest
+// exists and the caller should use the dense two-phase solver.
+func solveSparse(ctx context.Context, p *Problem, opt Options) (*Solution, error, bool) {
+	start := time.Now()
+	a := p.compiled()
+	sign := 1.0
+	if p.maximize {
+		sign = -1
+	}
+	n, m := a.n, a.m
+	cost := make([]float64, n+m)
+	lb := make([]float64, n+m)
+	ub := make([]float64, n+m)
+	rhs := make([]float64, m)
+	for j := 0; j < n; j++ {
+		cost[j] = sign * p.obj[j]
+		lb[j] = p.lo[j]
+		ub[j] = p.hi[j]
+	}
+	for i := 0; i < m; i++ {
+		rhs[i] = p.rhs[i]
+		sj := n + i
+		switch p.ops[i] {
+		case LE:
+			lb[sj], ub[sj] = 0, math.Inf(1)
+		case GE:
+			lb[sj], ub[sj] = math.Inf(-1), 0
+		default:
+			lb[sj], ub[sj] = 0, 0
+		}
+	}
+	c := newSpxCore(a, sign, cost, rhs, lb, ub)
+	if !c.restAll() {
+		return nil, nil, false
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter
+	}
+	c.done = ctx.Done()
+	if c.done != nil {
+		select {
+		case <-c.done:
+			return nil, ctx.Err(), true
+		default:
+		}
+	}
+	c.refactor()
+	c.computeBeta()
+	st := c.dualLoop(maxIter)
+	if c.cancelled {
+		return nil, ctx.Err(), true
+	}
+	sol := &Solution{
+		Status:           st,
+		Iterations:       c.iters,
+		DegeneratePivots: c.degenPivots,
+		DualPivots:       c.iters,
+		Refactorizations: c.refactors,
+	}
+	if st == StatusOptimal || st == StatusIterLimit {
+		x := make([]float64, n)
+		c.extractX(x)
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			obj += p.obj[j] * x[j]
+		}
+		sol.X = x
+		sol.Objective = obj
+	}
+	if st == StatusOptimal {
+		// Exact duals from the final basis: refresh d through the current
+		// factors so pivot-to-pivot drift never reaches callers.
+		c.computeDuals()
+		for i := 0; i < c.m; i++ {
+			c.erow[i] = c.cost[c.basis[i]]
+		}
+		c.btranFull(c.erow, c.work)
+		duals := make([]float64, m)
+		red := make([]float64, n)
+		for i := 0; i < m; i++ {
+			duals[i] = sign * c.work[i]
+		}
+		for j := 0; j < n; j++ {
+			if c.state[j] != inBasis {
+				red[j] = sign * c.d[j]
+			}
+		}
+		sol.Duals = duals
+		sol.ReducedCosts = red
+	}
+	if opt.Obs.Enabled() {
+		opt.Obs.Emit(obs.Event{
+			Kind: obs.KindLPSolve, Status: st.String(), Obj: sol.Objective,
+			Iters: sol.Iterations, Degenerate: sol.DegeneratePivots,
+			DualPivots: sol.DualPivots, Refactors: sol.Refactorizations,
+			DurUS: time.Since(start).Microseconds(),
+			Span:  obs.SpanID(ctx),
+		})
+	}
+	return sol, nil, true
+}

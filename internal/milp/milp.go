@@ -91,17 +91,20 @@ type Options struct {
 	// RootRounding enables a cheap dive heuristic at the root: round the
 	// relaxation's integer values and re-solve the continuous part.
 	RootRounding bool
-	// WarmStart enables the warm-started dual simplex (lp.Incremental):
-	// each node re-solve repairs the parent basis instead of running the
-	// two-phase primal from scratch, cutting per-node cost by ~30-40% on
-	// floorplanning relaxations. It requires finite bounds on improving
-	// columns (box-bounded problems) and falls back to cold solves when
-	// that precondition fails. Off by default: among alternative LP optima
-	// the dual repair keeps the solution near the parent vertex, which can
-	// steer the most-fractional branching and the decoded incumbents onto
-	// different (sometimes worse) trajectories than the cold primal;
-	// prefer it when node throughput matters more than heuristic placement
-	// quality (see BenchmarkAblationWarmStart).
+	// ColdStart disables the warm-started dual simplex and solves every
+	// node's relaxation from scratch with the cold solver. Warm starting
+	// is the default: each node re-solve repairs the parent basis with a
+	// handful of dual pivots on the sparse revised simplex core
+	// (lp.Incremental), allocation-free in steady state, instead of
+	// running a full solve per node. The warm path requires finite bounds
+	// on improving columns (box-bounded problems, which floorplanning
+	// relaxations always are) and silently falls back to cold solves when
+	// that precondition fails, so ColdStart is only needed to force the
+	// fallback — for differential testing or to measure the warm-start
+	// speedup (see BenchmarkAblationWarmStart{On,Off}).
+	ColdStart bool
+	// WarmStart is deprecated and ignored: warm-started node re-solves
+	// are now the default. Use ColdStart to opt out.
 	WarmStart bool
 	// External optionally supplies an externally-proven feasible objective
 	// value (in the problem's original sense) together with a label naming
@@ -167,6 +170,16 @@ type Result struct {
 	Nodes     int       // branch-and-bound nodes explored
 	LPIters   int       // total simplex iterations across all node solves
 	BestBound float64   // proven bound on the optimum (original sense)
+	// DualPivots and Refactorizations break down the sparse-simplex LP
+	// effort: dual pivots across node solves (a warm re-solve repairing a
+	// parent basis typically needs a handful; a cold solve on the sparse
+	// engine pays the full count) and how often the LU factorization was
+	// rebuilt (eta file full, numerical trouble, or a cloned worker basis
+	// coming online). Both are zero when every solve took the dense
+	// primal path (the lpdense build, or problems the sparse engine
+	// declines).
+	DualPivots       int
+	Refactorizations int
 	// IncumbentSource names who owns the best known solution: "bb" when
 	// the search (or its hint) produced X, or the Options.External label
 	// (e.g. "portfolio:anneal") on StatusDominated results. Empty when no
@@ -240,8 +253,10 @@ type solver struct {
 	extSource string
 	haveExt   bool
 
-	nodes   int
-	lpIters int
+	nodes      int
+	lpIters    int
+	dualPivots int // dual simplex pivots across warm node re-solves
+	refactors  int // basis refactorizations across warm node re-solves
 
 	// telemetry
 	o        *obs.Observer
@@ -372,7 +387,7 @@ func SolveCtx(ctx context.Context, m *Model, opt Options) *Result {
 		if opt.TimeLimit > 0 {
 			s.deadline = time.Now().Add(opt.TimeLimit)
 		}
-		if opt.WarmStart {
+		if !opt.ColdStart {
 			if inc, err := lp.NewIncremental(s.work, opt.LP); err == nil {
 				s.inc = inc
 			}
@@ -430,12 +445,15 @@ func (s *solver) setIntBounds(n *node) {
 }
 
 // solveLP solves the working problem and returns the solution plus the
-// node bound in minimize sense.
+// node bound in minimize sense. On the warm path the returned Solution
+// (and its X) is the incremental solver's reused buffer: it is only
+// valid until the next solveLP call, so values needed across solves
+// must be copied out first.
 func (s *solver) solveLP() (*lp.Solution, float64) {
 	var sol *lp.Solution
 	var err error
 	if s.inc != nil {
-		sol, err = s.inc.SolveCtx(s.ctx)
+		sol, err = s.inc.SolveCtxReuse(s.ctx)
 	} else {
 		sol, err = s.work.SolveCtx(s.ctx, s.opt.LP)
 	}
@@ -443,6 +461,8 @@ func (s *solver) solveLP() (*lp.Solution, float64) {
 		return nil, math.Inf(1)
 	}
 	s.lpIters += sol.Iterations
+	s.dualPivots += sol.DualPivots
+	s.refactors += sol.Refactorizations
 	return sol, s.sign * sol.Objective
 }
 
@@ -577,12 +597,12 @@ func (s *solver) run() *Result {
 			continue
 		}
 
+		// Capture the branch value before the rounding dive: the hint's
+		// re-solve overwrites the warm solver's reused X buffer.
+		x := sol.X[ints[frac]]
 		if s.nodes == 1 && s.opt.RootRounding {
 			s.tryIncumbentHint(sol.X, rootLo, rootHi)
 		}
-
-		v := ints[frac]
-		x := sol.X[v]
 		fl := math.Floor(x)
 
 		down := &node{lo: cloneF(n.lo), hi: cloneF(n.hi), bound: obj, depth: n.depth + 1, branchVar: frac}
@@ -688,9 +708,11 @@ func (s *solver) recordPseudo(k int, up bool, degradation float64) {
 
 func (s *solver) result(st Status, bound float64, openLeft int) *Result {
 	r := &Result{
-		Status:  st,
-		Nodes:   s.nodes,
-		LPIters: s.lpIters,
+		Status:           st,
+		Nodes:            s.nodes,
+		LPIters:          s.lpIters,
+		DualPivots:       s.dualPivots,
+		Refactorizations: s.refactors,
 	}
 	if s.haveInc {
 		r.X = s.incumbent
@@ -710,6 +732,7 @@ func (s *solver) result(st Status, bound float64, openLeft int) *Result {
 			Kind: obs.KindSearchDone, Status: st.String(),
 			Obj: r.Objective, Bound: r.BestBound, Gap: r.Gap(),
 			Nodes: s.nodes, Iters: s.lpIters,
+			DualPivots: s.dualPivots, Refactors: s.refactors,
 			Open: openLeft, Pruned: s.prunedN,
 			DurUS: time.Since(s.start).Microseconds(),
 		})

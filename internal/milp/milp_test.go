@@ -239,8 +239,8 @@ func TestBruteForceCrossCheck(t *testing.T) {
 			rowsSpec = append(rowsSpec, row{coefs, op, rhs})
 			p.AddConstraint("c", terms, op, rhs)
 		}
-		res := Solve(m, Options{})
-		warm := Solve(m, Options{WarmStart: true})
+		res := Solve(m, Options{ColdStart: true})
+		warm := Solve(m, Options{})
 		if (res.Status == StatusOptimal) != (warm.Status == StatusOptimal) {
 			t.Fatalf("trial %d: cold %v vs warm %v", trial, res.Status, warm.Status)
 		}

@@ -83,12 +83,14 @@ type psolver struct {
 	extSource string
 	haveExt   bool
 
-	nodes   int
-	lpIters int
-	pushed  int
-	prunedN int
-	steals  int
-	idleUS  int64
+	nodes      int
+	lpIters    int
+	dualPivots int
+	refactors  int
+	pushed     int
+	prunedN    int
+	steals     int
+	idleUS     int64
 
 	psUp, psDown   []float64
 	psUpN, psDownN []int
@@ -144,7 +146,7 @@ func solveParallel(ctx context.Context, m *Model, opt Options, workers int) *Res
 	// state. Cold workers each own a full problem clone instead.
 	base := m.P.Clone()
 	var proto *lp.Incremental
-	if opt.WarmStart {
+	if !opt.ColdStart {
 		if inc, err := lp.NewIncremental(base, opt.LP); err == nil {
 			proto = inc
 		}
@@ -478,11 +480,14 @@ func (pw *pworker) setIntBounds(n *node) {
 	}
 }
 
+// solveLP solves this worker's private relaxation. On the warm path the
+// returned Solution is the worker's reused buffer — private to the
+// worker, but only valid until its next solveLP call.
 func (pw *pworker) solveLP() (*lp.Solution, float64) {
 	var sol *lp.Solution
 	var err error
 	if pw.inc != nil {
-		sol, err = pw.inc.SolveCtx(pw.ctx)
+		sol, err = pw.inc.SolveCtxReuse(pw.ctx)
 	} else {
 		sol, err = pw.work.SolveCtx(pw.ctx, pw.ps.opt.LP)
 	}
@@ -491,6 +496,8 @@ func (pw *pworker) solveLP() (*lp.Solution, float64) {
 	}
 	pw.ps.mu.Lock()
 	pw.ps.lpIters += sol.Iterations
+	pw.ps.dualPivots += sol.DualPivots
+	pw.ps.refactors += sol.Refactorizations
 	pw.ps.mu.Unlock()
 	return sol, pw.ps.sign * sol.Objective
 }
@@ -569,12 +576,12 @@ func (pw *pworker) process(n *node, rootLo, rootHi []float64) *node {
 		return nil
 	}
 
+	// Capture the branch value before the rounding dive: the hint's
+	// re-solve overwrites the warm solver's reused X buffer.
+	x := sol.X[ps.m.Ints[frac]]
 	if n.id == 1 && ps.opt.RootRounding {
 		pw.tryHint(sol.X, rootLo, rootHi)
 	}
-
-	v := ps.m.Ints[frac]
-	x := sol.X[v]
 	fl := math.Floor(x)
 	down := &node{lo: cloneF(n.lo), hi: cloneF(n.hi), bound: obj, depth: n.depth + 1, branchVar: frac, owner: pw.id}
 	down.hi[frac] = fl
@@ -630,7 +637,10 @@ func (ps *psolver) result() *Result {
 		bound = math.Inf(-1)
 	}
 
-	r := &Result{Status: st, Nodes: ps.nodes, LPIters: ps.lpIters}
+	r := &Result{
+		Status: st, Nodes: ps.nodes, LPIters: ps.lpIters,
+		DualPivots: ps.dualPivots, Refactorizations: ps.refactors,
+	}
 	if ps.haveInc {
 		r.X = ps.incumbent
 		r.Objective = ps.sign * ps.incumbentObj
@@ -649,6 +659,7 @@ func (ps *psolver) result() *Result {
 			Kind: obs.KindSearchDone, Status: st.String(),
 			Obj: r.Objective, Bound: r.BestBound, Gap: r.Gap(),
 			Nodes: ps.nodes, Iters: ps.lpIters,
+			DualPivots: ps.dualPivots, Refactors: ps.refactors,
 			Open: openLeft, Pruned: ps.prunedN,
 			DurUS: time.Since(ps.start).Microseconds(),
 		})

@@ -24,7 +24,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		serial := Solve(m, Options{Workers: 1})
 		for _, opt := range []Options{
 			{Workers: 4},
-			{Workers: 4, WarmStart: true},
+			{Workers: 4, ColdStart: true},
 			{Workers: 4, Branching: PseudoCost},
 			{Workers: 3, RootRounding: true},
 		} {
@@ -179,8 +179,8 @@ func TestParallelStress(t *testing.T) {
 	want := Solve(m, Options{Workers: 1})
 	done := make(chan *Result, 6)
 	for i := 0; i < 6; i++ {
-		ws := i%2 == 0
-		go func() { done <- Solve(m, Options{Workers: 4, WarmStart: ws}) }()
+		cold := i%2 == 0
+		go func() { done <- Solve(m, Options{Workers: 4, ColdStart: cold}) }()
 	}
 	for i := 0; i < 6; i++ {
 		res := <-done

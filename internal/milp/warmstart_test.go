@@ -7,12 +7,19 @@ import (
 	"afp/internal/lp"
 )
 
-// Warm-started branch and bound must reach the same optima as the cold
-// path on the brute-force-checked knapsack.
+// Warm-started branch and bound (the default) must reach the same
+// optima as the forced-cold path on the brute-force-checked knapsack.
 func TestWarmStartKnapsack(t *testing.T) {
-	res := solveKnapsack(t, Options{WarmStart: true})
+	res := solveKnapsack(t, Options{})
 	if res.Status != StatusOptimal || math.Abs(res.Objective-22) > 1e-6 {
 		t.Fatalf("warm-start result = %+v", res)
+	}
+	if res.DualPivots == 0 {
+		t.Fatalf("warm search reported no dual pivots: %+v", res)
+	}
+	cold := solveKnapsack(t, Options{ColdStart: true})
+	if cold.Status != StatusOptimal || math.Abs(cold.Objective-22) > 1e-6 {
+		t.Fatalf("cold-start result = %+v", cold)
 	}
 }
 
@@ -24,7 +31,7 @@ func TestWarmStartFallsBackOnUnboundedColumns(t *testing.T) {
 	p.AddVariable("x", 0, math.Inf(1), -1)
 	z := m.AddBinary("z", 0)
 	p.AddConstraint("link", []lp.Term{{Var: z, Coef: 1}}, lp.LE, 1)
-	res := Solve(m, Options{WarmStart: true})
+	res := Solve(m, Options{})
 	if res.Status != StatusUnbounded {
 		t.Fatalf("status = %v, want unbounded", res.Status)
 	}
@@ -51,8 +58,8 @@ func TestWarmStartPlacementDisjunction(t *testing.T) {
 		p.AddConstraint("h2", []lp.Term{{Var: h, Coef: 1}, {Var: y2, Coef: -1}}, lp.GE, 1)
 		return m
 	}
-	cold := Solve(build(), Options{})
-	warm := Solve(build(), Options{WarmStart: true})
+	cold := Solve(build(), Options{ColdStart: true})
+	warm := Solve(build(), Options{})
 	if cold.Status != StatusOptimal || warm.Status != StatusOptimal {
 		t.Fatalf("statuses %v / %v", cold.Status, warm.Status)
 	}

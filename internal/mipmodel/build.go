@@ -418,6 +418,10 @@ func Build(spec *Spec) (*Built, error) {
 		}
 	}
 
+	// Compile the sparse constraint matrix now, while the model is still
+	// single-threaded: branch-and-bound clones share the compiled form, so
+	// building it here keeps the per-worker setup allocation-free.
+	p.Compile()
 	return b, nil
 }
 

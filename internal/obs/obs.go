@@ -141,6 +141,12 @@ type Event struct {
 	// BoundFlips counts nonbasic bound flips (pivots without a basis
 	// change).
 	BoundFlips int `json:"bound_flips,omitempty"`
+	// DualPivots counts dual simplex pivots (per solve for lp.solve;
+	// cumulative across node solves for search-level events).
+	DualPivots int `json:"dual_pivots,omitempty"`
+	// Refactors counts basis LU refactorizations of the sparse revised
+	// simplex (per solve for lp.solve; cumulative for search events).
+	Refactors int `json:"refactors,omitempty"`
 	// Nodes counts branch-and-bound nodes explored so far.
 	Nodes int `json:"nodes,omitempty"`
 	// Open counts open (unexplored) nodes.

@@ -59,14 +59,44 @@ func (b *traceBuffer) Emit(e obs.Event) {
 	} else {
 		b.dropped++
 	}
+	structural := isStructuralKind(e.Kind)
 	for sub := range b.subs {
 		select {
 		case sub.ch <- e:
 		default:
-			sub.lost++
+			if !structural {
+				sub.lost++
+				continue
+			}
+			// Structural frames (step/search boundaries) carry the state
+			// the stream's per-step contracts hang on — e.g. the SSE gap
+			// monotonicity reset. Evict the oldest queued event instead of
+			// dropping the boundary, so a slow follower loses data probes
+			// but never a step marker.
+			select {
+			case <-sub.ch:
+				sub.lost++
+			default:
+			}
+			select {
+			case sub.ch <- e:
+			default:
+				sub.lost++
+			}
 		}
 	}
 	b.mu.Unlock()
+}
+
+// isStructuralKind reports whether an event delimits the solve's
+// structure rather than sampling its progress; these are rare (a handful
+// per solve) and live followers must not lose them to back-pressure.
+func isStructuralKind(k obs.Kind) bool {
+	switch k {
+	case obs.KindStepStart, obs.KindStepDone, obs.KindSearchDone, obs.KindSearchParallel:
+		return true
+	}
+	return false
 }
 
 // subscribe atomically snapshots the retained events and registers a
