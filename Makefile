@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci vet lint cover race bench benchall benchcmp serve e2e generate-check clean
+.PHONY: all build test ci vet lint lockgraph cover race bench benchall benchcmp serve e2e generate-check clean
 
 all: build
 
@@ -11,10 +11,17 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's custom analyzers (ctxsolve, toleq, obsevent,
-# locked — see DESIGN.md section 11) over the whole repository. Any
-# finding fails the target.
+# locked, guardedby, lockorder, goroleak — see DESIGN.md sections 11
+# and 15) over the whole repository. Any finding fails the target, as
+# does drift of the lock-order graph from its committed golden dump.
 lint:
 	$(GO) run ./cmd/floorplanvet ./...
+
+# lockgraph regenerates the blessed lock-order graph after a reviewed
+# ordering change; `make lint` (and therefore `make ci`) fails until
+# the committed dump matches what the analyzers observe.
+lockgraph:
+	$(GO) run ./cmd/floorplanvet -lockgraph internal/analysis/testdata/lockorder.golden ./...
 
 test:
 	$(GO) test ./...

@@ -3,29 +3,48 @@
 // It loads the named packages (default ./...) with full type
 // information, applies every analyzer, prints one line per finding and
 // exits non-zero when any finding survives its //vet:allow
-// suppressions. See DESIGN.md section 11 for the rules enforced.
+// suppressions. See DESIGN.md sections 11 and 15 for the rules
+// enforced.
+//
+// Beyond per-package findings, the run accumulates the cross-package
+// lock-acquisition graph (the lockorder analyzer). With -lockgraph the
+// graph is written to the named file; otherwise it is compared against
+// the committed golden dump so any new lock ordering is a reviewed
+// diff — regenerate with `make lockgraph`.
 //
 // Usage:
 //
-//	floorplanvet [packages]
+//	floorplanvet [-json] [-lockgraph file] [-golden file] [packages]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"afp/internal/analysis"
 	"afp/internal/obs"
 )
+
+// defaultGolden is where the blessed lock-order graph lives when the
+// tool runs from the repository root (make lint / make ci). When the
+// file does not exist — fixture trees, other working directories — the
+// comparison is skipped.
+const defaultGolden = "internal/analysis/testdata/lockorder.golden"
 
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	lockgraph := flag.String("lockgraph", "", "write the lock-order graph dump to this file (regenerates the golden)")
+	golden := flag.String("golden", defaultGolden, "golden lock-order graph to compare against (skipped when absent, unless set explicitly)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: floorplanvet [packages]")
+		fmt.Fprintln(os.Stderr, "usage: floorplanvet [-json] [-lockgraph file] [-golden file] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,23 +70,141 @@ func run() int {
 		return 2
 	}
 
+	lockOrder := analysis.NewLockOrder()
 	analyzers := []*analysis.Analyzer{
 		analysis.CtxSolve,
 		analysis.TolEq,
 		analysis.NewObsEvent(obs.Schema, obs.SpanNames, obs.HistogramNames),
 		analysis.Locked,
+		analysis.GuardedBy,
+		lockOrder.Analyzer(),
+		analysis.GoroLeak,
 	}
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "floorplanvet:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+
+	if *lockgraph != "" {
+		if err := os.WriteFile(*lockgraph, []byte(lockOrder.Dump()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "floorplanvet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "floorplanvet: lock-order graph written to %s\n", *lockgraph)
+	}
+
+	drift := 0
+	if *lockgraph == "" {
+		drift = compareGolden(*golden, lockOrder.Dump(), explicitFlag("golden"))
+		if drift < 0 {
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "floorplanvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "floorplanvet: %d finding(s)\n", len(diags))
+	}
+	if len(diags) > 0 || drift > 0 {
 		return 1
 	}
 	return 0
+}
+
+// explicitFlag reports whether the named flag was set on the command
+// line (as opposed to resting at its default).
+func explicitFlag(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// compareGolden diffs the accumulated lock-order dump against the
+// committed golden file, printing one line per added or removed edge.
+// Returns the number of drifted edges, or -1 on a hard error (an
+// explicitly named golden that cannot be read).
+func compareGolden(path, dump string, explicit bool) int {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		if explicit {
+			fmt.Fprintf(os.Stderr, "floorplanvet: %v\n", err)
+			return -1
+		}
+		return 0 // default golden absent: not running from the repo root
+	}
+	if string(want) == dump {
+		return 0
+	}
+	wantSet := edgeSet(string(want))
+	gotSet := edgeSet(dump)
+	var lines []string
+	for e := range gotSet {
+		if !wantSet[e] {
+			lines = append(lines, fmt.Sprintf("floorplanvet: lock-order drift: new edge %q", e))
+		}
+	}
+	for e := range wantSet {
+		if !gotSet[e] {
+			lines = append(lines, fmt.Sprintf("floorplanvet: lock-order drift: removed edge %q", e))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	n := len(lines)
+	if n == 0 {
+		n = 1 // byte-level difference only (ordering/whitespace); still drift
+	}
+	fmt.Fprintf(os.Stderr, "floorplanvet: lock-order graph drifted from %s; review and run `make lockgraph` to regenerate\n", path)
+	return n
+}
+
+func edgeSet(dump string) map[string]bool {
+	set := map[string]bool{}
+	for _, line := range strings.Split(dump, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			set[line] = true
+		}
+	}
+	return set
+}
+
+// jsonFinding is the -json wire shape, one object per diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []analysis.Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
 }

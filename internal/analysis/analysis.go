@@ -30,6 +30,12 @@ type Analyzer struct {
 	// Pass.Report/Reportf; the error return is reserved for analyzer
 	// failures (not findings).
 	Run func(*Pass) error
+	// Finish, if non-nil, runs once after every package has been
+	// analyzed. Analyzers that accumulate cross-package state (the
+	// lock-order graph) report whole-program findings here; the
+	// returned diagnostics must carry Pos and Position already
+	// resolved, since no single Pass is in scope.
+	Finish func() []Diagnostic
 }
 
 // Pass carries one package's syntax and types to an analyzer, mirroring

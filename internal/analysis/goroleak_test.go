@@ -1,0 +1,11 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"afp/internal/analysis"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysis.RunTest(t, "testdata", "afp/internal/goroleak", analysis.GoroLeak)
+}

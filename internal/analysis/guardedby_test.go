@@ -1,0 +1,11 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"afp/internal/analysis"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysis.RunTest(t, "testdata", "afp/guardedby", analysis.GuardedBy)
+}

@@ -2,188 +2,148 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
-	"strings"
 )
 
 // Locked enforces mutex-annotation discipline: a function whose doc
-// comment carries a machine-readable line
+// comment carries one or more machine-readable lines
 //
-//	// locked: ps.mu
+//	// locked: <spec>
 //
-// (where ps is the function's receiver) may only be called with that
-// mutex held. A call site satisfies the contract when either
+// may only be called with the named mutex held. The spec grammar
+// (DESIGN.md section 15) generalizes the original receiver-only form:
 //
-//   - the calling function carries the same annotation for the same
-//     lock expression, or
-//   - the caller's body contains an <expr>.Lock() on the required lock
-//     before the call, with no non-deferred <expr>.Unlock() in between
-//     (the classic mu.Lock(); defer mu.Unlock() pattern, or an explicit
-//     Lock/call/Unlock bracket).
+//	// locked: ps.mu           the receiver's mutex — call sites must
+//	                           hold <receiver expression>.mu
+//	// locked: b.mu            a parameter's mutex, matched the same way
+//	                           against the corresponding argument
+//	// locked: backendMu       a package-level mutex in the same package
+//	// locked: obs.Metrics.mu  an identity: any lock whose canonical
+//	                           name is pkg.Type.field, whoever owns it
+//
+// A call site satisfies the contract when either the calling scope
+// carries a matching annotation itself, or the body lexically holds the
+// required lock at the call: an <expr>.Lock() (or RLock) before it with
+// no non-deferred Unlock in between. Receiver and parameter forms match
+// by expression text, so holding other.mu never satisfies p.mu; the
+// identity form matches by canonical name, which is what lets
+// histogram.observe demand obs.Metrics.mu from another file.
 //
 // The check is lexical within one function body — it does not build a
-// cross-procedural lockset — which is exactly the discipline the
-// parallel branch-and-bound pool relies on for its
-// opened == closed + pruned + open trace invariant (DESIGN.md sections
-// 9 and 11). Annotated functions are matched per package; annotations
-// on exported functions called from other packages are not visible
-// there, so locked helpers should stay unexported.
+// cross-procedural lockset (DESIGN.md sections 9 and 11). Annotations
+// are matched per package; annotations on exported functions called
+// from other packages are not visible there, so locked helpers should
+// stay unexported.
 var Locked = &Analyzer{
 	Name: "locked",
-	Doc:  "functions annotated '// locked: x.mu' are only called with the annotated mutex held",
+	Doc:  "functions annotated '// locked: <spec>' are only called with the annotated mutex held",
 	Run:  runLocked,
 }
 
-// lockedAnnotation records one annotated function: the receiver name it
-// states the lock in terms of, and the field path after it ("mu").
-type lockedAnnotation struct {
-	recv string // annotated receiver name, e.g. "ps"
-	path string // lock member path, e.g. "mu"
-}
-
 func runLocked(pass *Pass) error {
-	annotated := map[*types.Func]lockedAnnotation{}
+	annotated := map[*types.Func][]lockedReq{}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil {
 				continue
 			}
-			spec := ""
-			for _, c := range fd.Doc.List {
-				if rest, ok := strings.CutPrefix(c.Text, "// locked:"); ok {
-					spec = strings.TrimSpace(rest)
-				}
-			}
-			if spec == "" {
+			_, reqs := lockedAnnotations(pass, fd)
+			if len(reqs) == 0 {
 				continue
 			}
 			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
 			if !ok {
 				continue
 			}
-			recv, path, ok := strings.Cut(spec, ".")
-			if !ok {
-				pass.Reportf(fd.Pos(), "malformed locked annotation %q (want receiver.field, e.g. ps.mu)", spec)
-				continue
+			for _, req := range reqs {
+				if req.kind == reqPkgVar && req.id == "" {
+					pass.Reportf(fd.Pos(), "malformed locked annotation %q: no package-level variable %q (want recv.field, param.field, a package mutex, or pkg.Type.field)",
+						req.spec, req.spec)
+					continue
+				}
+				annotated[obj] = append(annotated[obj], req)
 			}
-			if rn := recvName(fd); rn != recv {
-				pass.Reportf(fd.Pos(), "locked annotation %q does not start with the receiver name %q", spec, rn)
-				continue
-			}
-			annotated[obj] = lockedAnnotation{recv: recv, path: path}
 		}
 	}
 	if len(annotated) == 0 {
 		return nil
 	}
 
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkLockedCalls(pass, fd, annotated)
-		}
+	for _, scope := range collectLockScopes(pass) {
+		checkLockedCalls(pass, scope, annotated)
 	}
 	return nil
 }
 
 // checkLockedCalls validates every call to an annotated function inside
-// fd's body.
-func checkLockedCalls(pass *Pass, fd *ast.FuncDecl, annotated map[*types.Func]lockedAnnotation) {
-	// The caller's own annotation, if any, rendered as a lock expression
-	// string in the caller's naming ("ps.mu").
-	callerLock := ""
-	if fd.Doc != nil {
-		for _, c := range fd.Doc.List {
-			if rest, ok := strings.CutPrefix(c.Text, "// locked:"); ok {
-				callerLock = strings.TrimSpace(rest)
-			}
-		}
-	}
-
-	// Deferred calls are exempt from the "unlock releases the lock"
-	// bookkeeping: defer mu.Unlock() runs at return, after every call in
-	// the body.
-	deferred := map[*ast.CallExpr]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if ds, ok := n.(*ast.DeferStmt); ok {
-			deferred[ds.Call] = true
-		}
-		return true
-	})
-
-	// All Lock/Unlock events in the body, keyed by the text of the mutex
-	// expression they act on.
-	type lockEvent struct {
-		pos  token.Pos
-		lock bool
-	}
-	events := map[string][]lockEvent{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// one scope.
+func checkLockedCalls(pass *Pass, scope *lockScope, annotated map[*types.Func][]lockedReq) {
+	walkSkipping(scope.body, scope.skip, func(n ast.Node) {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		switch sel.Sel.Name {
-		case "Lock":
-			mu := types.ExprString(sel.X)
-			events[mu] = append(events[mu], lockEvent{pos: call.Pos(), lock: true})
-		case "Unlock":
-			if !deferred[call] {
-				mu := types.ExprString(sel.X)
-				events[mu] = append(events[mu], lockEvent{pos: call.Pos(), lock: false})
-			}
-		}
-		return true
-	})
-	heldAt := func(mu string, pos token.Pos) bool {
-		held := false
-		for _, ev := range events[mu] {
-			if ev.pos >= pos {
-				break
-			}
-			held = ev.lock
-		}
-		return held
-	}
-
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+			return
 		}
 		callee := calleeFunc(pass, call)
 		if callee == nil {
-			return true
+			return
 		}
-		ann, ok := annotated[callee]
-		if !ok {
-			return true
+		for _, req := range annotated[callee] {
+			required, byIdentity := requiredLock(call, req)
+			if byIdentity {
+				if scope.heldIDAt(required, call.Pos()) {
+					continue
+				}
+				pass.Reportf(call.Pos(), "call to %s requires a lock with identity %s held (annotate the caller '// locked: %s' or take the lock first)",
+					callee.Name(), required, required)
+				continue
+			}
+			if scope.heldExprAt(required, call.Pos()) {
+				continue
+			}
+			if req.id != "" && annotationHoldsID(scope, req.id) {
+				// The caller's own precondition names the same lock
+				// class through a different spelling (e.g. an identity
+				// annotation covering a receiver-form requirement).
+				continue
+			}
+			pass.Reportf(call.Pos(), "call to %s requires %s held (annotate the caller '// locked: %s' or take the lock first)",
+				callee.Name(), required, required)
 		}
-		// The lock the callee requires, in the caller's naming: the
-		// callee's receiver is whatever expression the call selects on.
-		required := ann.recv + "." + ann.path
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			required = types.ExprString(sel.X) + "." + ann.path
-		}
-		if callerLock == required {
-			return true
-		}
-		if heldAt(required, call.Pos()) {
-			return true
-		}
-		pass.Reportf(call.Pos(), "call to %s requires %s held (annotate the caller '// locked: %s' or take the lock first)",
-			callee.Name(), required, required)
-		return true
 	})
+}
+
+// requiredLock renders req at one call site: the lock expression the
+// caller must hold (in the caller's naming), or an identity when the
+// requirement is instance-blind.
+func requiredLock(call *ast.CallExpr, req lockedReq) (string, bool) {
+	switch req.kind {
+	case reqRecv:
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return types.ExprString(sel.X) + "." + req.path, false
+		}
+		return req.spec, false
+	case reqParam:
+		if req.argIdx < len(call.Args) {
+			return types.ExprString(call.Args[req.argIdx]) + "." + req.path, false
+		}
+		return req.spec, false
+	case reqPkgVar:
+		return req.spec, false
+	default:
+		return req.id, true
+	}
+}
+
+// annotationHoldsID reports whether one of the scope's own locked:
+// preconditions names the identity id.
+func annotationHoldsID(scope *lockScope, id string) bool {
+	for _, h := range scope.ann {
+		if h.id == id && id != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // recvName returns the name of fd's receiver, or "" for plain functions.

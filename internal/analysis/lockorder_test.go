@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"afp/internal/analysis"
+)
+
+func TestLockOrder(t *testing.T) {
+	lo := analysis.NewLockOrder()
+	analysis.RunTest(t, "testdata", "afp/lockorder", lo.Analyzer())
+
+	dump := lo.Dump()
+	for _, edge := range []string{
+		"lockorder.a.mu -> lockorder.b.mu",
+		"lockorder.b.mu -> lockorder.a.mu",
+		"lockorder.a.mu -> lockorder.c.mu",             // via the helper summary
+		"lockorder.c.mu -> lockorder.b.mu  (declared)", // from the comment
+	} {
+		if !strings.Contains(dump, edge) {
+			t.Errorf("Dump missing edge %q:\n%s", edge, dump)
+		}
+	}
+}
+
+func TestLockOrderDumpDeterministic(t *testing.T) {
+	var dumps [2]string
+	for i := range dumps {
+		lo := analysis.NewLockOrder()
+		analysis.RunTest(t, "testdata", "afp/lockorder", lo.Analyzer())
+		dumps[i] = lo.Dump()
+	}
+	if dumps[0] != dumps[1] {
+		t.Errorf("Dump is not deterministic:\n%s\nvs\n%s", dumps[0], dumps[1])
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/token"
 	"regexp"
 	"sort"
 	"strings"
@@ -17,14 +18,46 @@ import (
 // directive — mentioning //vet:allow mid-comment does not suppress.
 var allowRe = regexp.MustCompile(`^//vet:allow\s+([A-Za-z0-9_,]+)`)
 
+// StaleAllowName is the pseudo-analyzer name under which unused
+// //vet:allow comments are reported. It is not itself suppressible: a
+// stale allow is by definition dead text, so the only fix is removal.
+const StaleAllowName = "staleallow"
+
+// allowComment is one //vet:allow directive, tracked across the whole
+// run so that directives which suppress nothing can be reported stale.
+type allowComment struct {
+	pos      token.Pos
+	position token.Position
+	names    map[string]bool
+	used     bool
+}
+
+func (c *allowComment) covers(analyzer string) bool {
+	return c.names[analyzer] || c.names["all"]
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position. Suppressed findings are dropped;
 // packages with type errors are analyzed anyway (the caller decides
-// whether type errors are fatal).
+// whether type errors are fatal). Packages must arrive in dependency
+// order (dependencies before dependents), which is how Load returns
+// them; stateful analyzers with a Finish hook rely on it.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allowed := suppressions(pkgs)
+	suppress := func(d Diagnostic) bool {
+		for _, line := range []int{d.Position.Line - 1, d.Position.Line} {
+			for _, c := range allowed[posKey{d.Position.Filename, line}] {
+				if c.covers(d.Analyzer) {
+					c.used = true
+					return true
+				}
+			}
+		}
+		return false
+	}
+
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allowed := suppressions(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -34,18 +67,57 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				TypesInfo: pkg.Info,
 			}
 			pass.report = func(d Diagnostic) {
-				if names, ok := allowed[posKey{d.Position.Filename, d.Position.Line}]; ok {
-					if names[a.Name] || names["all"] {
-						return
-					}
+				if !suppress(d) {
+					diags = append(diags, d)
 				}
-				diags = append(diags, d)
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, err
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		for _, d := range a.Finish() {
+			d.Analyzer = a.Name
+			if !suppress(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+
+	// Stale-suppression pass: an allow comment whose analyzers all ran
+	// yet which suppressed nothing is itself a finding, so swept fixes
+	// cannot leave dead allows behind.
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, comments := range allowed {
+		for _, c := range comments {
+			if c.used {
+				continue
+			}
+			checkable := true
+			for n := range c.names {
+				if n != "all" && !ran[n] {
+					checkable = false
+				}
+			}
+			if !checkable {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      c.pos,
+				Position: c.position,
+				Analyzer: StaleAllowName,
+				Message:  "//vet:allow suppresses no findings; remove the stale directive",
+			})
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
 		if a.Filename != b.Filename {
@@ -67,31 +139,31 @@ type posKey struct {
 	line int
 }
 
-// suppressions maps source lines to the analyzer names allowed there. A
+// suppressions indexes every //vet:allow comment by source line. A
 // comment on line L suppresses findings on L and on L+1, so both
-// trailing and preceding placements work.
-func suppressions(pkg *Package) map[posKey]map[string]bool {
-	out := map[posKey]map[string]bool{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				names := map[string]bool{}
-				for _, n := range strings.Split(m[1], ",") {
-					names[strings.TrimSpace(n)] = true
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					k := posKey{pos.Filename, line}
-					if out[k] == nil {
-						out[k] = map[string]bool{}
+// trailing and preceding placements work; the index is keyed by the
+// comment's own line and consulted for both.
+func suppressions(pkgs []*Package) map[posKey][]*allowComment {
+	out := map[posKey][]*allowComment{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					for n := range names {
-						out[k][n] = true
+					names := map[string]bool{}
+					for _, n := range strings.Split(m[1], ",") {
+						names[strings.TrimSpace(n)] = true
 					}
+					ac := &allowComment{
+						pos:      c.Pos(),
+						position: pkg.Fset.Position(c.Pos()),
+						names:    names,
+					}
+					k := posKey{ac.position.Filename, ac.position.Line}
+					out[k] = append(out[k], ac)
 				}
 			}
 		}

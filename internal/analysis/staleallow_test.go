@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"afp/internal/analysis"
+)
+
+// TestStaleAllow exercises the stale-suppression pseudo-analyzer: the
+// fixture carries one live //vet:allow (whose finding must stay
+// suppressed), one stale one (reported), and one naming an analyzer
+// outside the run set (ignored).
+func TestStaleAllow(t *testing.T) {
+	analysis.RunTest(t, "testdata", "afp/staleallow", analysis.TolEq)
+}

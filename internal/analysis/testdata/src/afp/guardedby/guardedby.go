@@ -1,0 +1,109 @@
+// Package guardedby is the golden fixture for the guardedby analyzer.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	s  string
+}
+
+type registry struct {
+	mu   sync.RWMutex
+	m    map[string]int // guarded by mu
+	lost int            // guarded by guardedby.counter.mu
+}
+
+var (
+	tableMu sync.Mutex
+	table   = map[string]int{} // guarded by tableMu
+)
+
+func (c *counter) bracket() {
+	c.mu.Lock()
+	c.n++ // ok: inside the Lock/Unlock bracket
+	c.mu.Unlock()
+	c.n-- // want `access to c.n requires c.mu held`
+}
+
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: lock taken above, unlock deferred
+}
+
+func (c *counter) free() {
+	c.s = "x" // ok: s is not guarded
+	c.n = 1   // want `access to c.n requires c.mu held`
+}
+
+// precondition documents its lock contract instead of taking the lock.
+// locked: c.mu
+func (c *counter) precondition() int { return c.n } // ok: annotation holds the guard
+
+func (c *counter) wrongInstance(o *counter) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c.n++ // want `access to c.n requires c.mu held`
+	o.n++ // ok: o.mu is held and n was selected from o
+}
+
+func (r *registry) rlocked(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k] // ok: a read lock counts as held
+}
+
+func (r *registry) external(c *counter) {
+	c.mu.Lock()
+	r.lost++ // ok: a lock with identity guardedby.counter.mu is held
+	c.mu.Unlock()
+	r.lost-- // want `access to r.lost requires a lock with identity guardedby.counter.mu held`
+}
+
+func (c *counter) earlyExit(limit int) int {
+	c.mu.Lock()
+	if c.n > limit {
+		c.mu.Unlock()
+		return limit
+	}
+	v := c.n // ok: the early-exit unlock left this path still locked
+	c.mu.Unlock()
+	return v
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7 // ok: constructor hatch, c has not escaped yet
+	return c
+}
+
+func leakyConstructor(sink chan<- *counter) {
+	c := &counter{}
+	sink <- c
+	c.n = 9 // want `access to c.n requires c.mu held`
+}
+
+var initOnce sync.Once
+
+func (c *counter) lazyInit() {
+	initOnce.Do(func() {
+		c.n = 1 // ok: once.Do provides the happens-before
+	})
+}
+
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `access to c.n requires c.mu held`
+	}()
+}
+
+func global() {
+	tableMu.Lock()
+	table["a"] = 1 // ok: the package mutex is held
+	tableMu.Unlock()
+	table["b"] = 2 // want `access to table requires tableMu held`
+}

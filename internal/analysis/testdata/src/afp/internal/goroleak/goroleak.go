@@ -1,0 +1,68 @@
+// Package goroleak is the golden fixture for the goroleak analyzer;
+// it lives under an internal/ path segment because that is the
+// analyzer's scope.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func leak() {
+	go func() { // want `goroutine has no provable join path`
+		println("orphan")
+	}()
+}
+
+func withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func withWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("worker")
+	}()
+}
+
+func withCloseSignal(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func viaArgs(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+func namedLeak() {
+	go orphan() // want `goroutine has no provable join path`
+}
+
+func orphan() { println("nobody joins") }
+
+func rangeJoin(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func closer(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

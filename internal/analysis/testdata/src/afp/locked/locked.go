@@ -39,3 +39,39 @@ func (p *pool) wrongLock(other *pool) {
 	defer other.mu.Unlock()
 	p.commit(5) // want `call to commit requires p.mu held`
 }
+
+// drain zeroes the tally of the pool passed in; the annotation names a
+// parameter instead of a receiver.
+// locked: q.mu
+func drain(q *pool) { q.n = 0 }
+
+func callsDrain(p *pool) {
+	drain(p) // want `call to drain requires p.mu held`
+	p.mu.Lock()
+	drain(p) // ok: the argument's lock is held
+	p.mu.Unlock()
+}
+
+var regMu sync.Mutex
+
+// flush assumes the package-level registry mutex.
+// locked: regMu
+func flush() {}
+
+func callsFlush() {
+	flush() // want `call to flush requires regMu held`
+	regMu.Lock()
+	flush() // ok: the package mutex is held
+	regMu.Unlock()
+}
+
+// audit demands any lock of the pool class, whichever instance.
+// locked: locked.pool.mu
+func audit() {}
+
+func callsAudit(p *pool) {
+	audit() // want `call to audit requires a lock with identity locked.pool.mu held`
+	p.mu.Lock()
+	audit() // ok: p.mu carries the identity locked.pool.mu
+	p.mu.Unlock()
+}

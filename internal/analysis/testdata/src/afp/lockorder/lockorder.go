@@ -1,0 +1,53 @@
+// Package lockorder is the golden fixture for the lockorder analyzer:
+// it seeds a two-lock cycle, a double lock, a summary-propagated edge
+// and a declared edge.
+package lockorder
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+}
+
+type b struct {
+	mu sync.Mutex
+}
+
+type c struct {
+	mu sync.Mutex
+}
+
+func forward(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want `lock-order cycle: lockorder.a.mu -> lockorder.b.mu -> lockorder.a.mu`
+	y.mu.Unlock()
+}
+
+func backward(x *a, y *b) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+func double(x *a) {
+	x.mu.Lock()
+	x.mu.Lock() // want `lock x.mu acquired while already held \(double lock\)`
+	x.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// helper's lock footprint flows into viaCall's summary-based edge.
+func (v *c) helper() {
+	v.mu.Lock()
+	v.mu.Unlock()
+}
+
+func viaCall(x *a, v *c) {
+	x.mu.Lock()
+	v.helper() // records lockorder.a.mu -> lockorder.c.mu through the summary
+	x.mu.Unlock()
+}
+
+// lockorder: lockorder.c.mu -> lockorder.b.mu -- declared edge for the dump test

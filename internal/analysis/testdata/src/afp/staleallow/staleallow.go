@@ -1,0 +1,18 @@
+// Package staleallow is the golden fixture for stale //vet:allow
+// detection: a directive that suppresses nothing is itself a finding.
+package staleallow
+
+func compare(a, b float64) bool {
+	//vet:allow toleq -- fixture: intentionally suppressed finding
+	return a == b
+}
+
+func clean(a, b float64) bool {
+	//vet:allow toleq -- fixture: nothing to suppress // want `//vet:allow suppresses no findings`
+	return a < b
+}
+
+func unrelated(a, b float64) bool {
+	//vet:allow ctxsolve -- fixture: that analyzer is not in this run, so staleness is unknowable
+	return a < b
+}

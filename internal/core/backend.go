@@ -29,7 +29,7 @@ type BackendFunc func(ctx context.Context, d *netlist.Design, cfg Config) (*Resu
 
 var (
 	backendMu  sync.RWMutex
-	backendReg = map[string]BackendFunc{}
+	backendReg = map[string]BackendFunc{} // guarded by backendMu
 )
 
 // RegisterBackend makes fn selectable through Config.Backend under the

@@ -68,32 +68,32 @@ type psolver struct {
 
 	mu            sync.Mutex
 	cond          *sync.Cond
-	pool          nodeHeap
-	idle          int
-	stopped       bool // drain: limit, cancellation, exhaustion or root unbounded
-	hitLimit      bool // stop was a limit/cancellation, not exhaustion
-	rootUnbounded bool
-	abortFold     float64 // min bound over nodes whose LP was aborted mid-solve
+	pool          nodeHeap // guarded by mu
+	idle          int      // guarded by mu
+	stopped       bool     // guarded by mu; drain: limit, cancellation, exhaustion or root unbounded
+	hitLimit      bool     // guarded by mu; stop was a limit/cancellation, not exhaustion
+	rootUnbounded bool     // guarded by mu
+	abortFold     float64  // guarded by mu; min bound over nodes whose LP was aborted mid-solve
 
-	incumbent    []float64
-	incumbentObj float64 // minimize sense
-	haveInc      bool
+	incumbent    []float64 // guarded by mu
+	incumbentObj float64   // guarded by mu; minimize sense
+	haveInc      bool      // guarded by mu
 
-	extObj    float64 // best external objective seen (minimize sense)
-	extSource string
-	haveExt   bool
+	extObj    float64 // guarded by mu; best external objective seen (minimize sense)
+	extSource string  // guarded by mu
+	haveExt   bool    // guarded by mu
 
-	nodes      int
-	lpIters    int
-	dualPivots int
-	refactors  int
-	pushed     int
-	prunedN    int
-	steals     int
-	idleUS     int64
+	nodes      int   // guarded by mu
+	lpIters    int   // guarded by mu
+	dualPivots int   // guarded by mu
+	refactors  int   // guarded by mu
+	pushed     int   // guarded by mu
+	prunedN    int   // guarded by mu
+	steals     int   // guarded by mu
+	idleUS     int64 // guarded by mu
 
-	psUp, psDown   []float64
-	psUpN, psDownN []int
+	psUp, psDown   []float64 // guarded by mu
+	psUpN, psDownN []int     // guarded by mu
 }
 
 // pworker is one worker goroutine's private solver assets: a problem
@@ -281,7 +281,16 @@ func (ps *psolver) next(worker int, local *node) *node {
 	}
 }
 
-// emitProgressLocked mirrors the serial probe.
+// emitProgressLocked mirrors the serial probe. Emitting while ps.mu is
+// held orders the pool lock ahead of every observer sink mutex; the
+// sinks are leaves that take no further locks, and they are reached
+// through the obs.Sink interface, which the static lock graph cannot
+// trace — so the orderings are declared:
+//
+// lockorder: milp.psolver.mu -> obs.JSONLWriter.mu -- solver events are emitted while the pool lock is held; the JSONL sink locks to encode
+// lockorder: milp.psolver.mu -> obs.Recorder.mu -- solver events are emitted while the pool lock is held; the recorder locks to append
+// lockorder: milp.psolver.mu -> obs.LogSink.mu -- solver events are emitted while the pool lock is held; the log sink locks to write
+// lockorder: milp.psolver.mu -> obs.Metrics.mu -- the metrics sink folds events emitted under the pool lock into histograms
 //
 // locked: ps.mu
 func (ps *psolver) emitProgressLocked(curBound float64) {
@@ -344,7 +353,10 @@ func (ps *psolver) incumbentSnapshot() (float64, bool) {
 // pollExternalLocked refreshes the externally-shared incumbent. The
 // External hook is called with ps.mu held; by contract it only takes
 // locks that never wait on a branch-and-bound worker (the portfolio
-// board's mutex), so the ordering ps.mu -> board.mu is acyclic.
+// board's mutex). The hook is a function value the static lock graph
+// cannot trace, so the ordering is declared:
+//
+// lockorder: milp.psolver.mu -> portfolio.Board.mu -- Options.External polls the board's verified incumbent while the pool lock is held
 //
 // locked: ps.mu
 func (ps *psolver) pollExternalLocked() {
@@ -601,7 +613,12 @@ func (pw *pworker) process(n *node, rootLo, rootHi []float64) *node {
 
 // result folds the pool minimum with any aborted in-flight bounds into
 // the proven bound and assembles the Result exactly as the serial path.
+// It runs after wg.Wait(), so the lock is uncontended; taking it anyway
+// keeps every read of shared state under ps.mu and pairs the final
+// events with the same ordering emitProgressLocked established.
 func (ps *psolver) result() *Result {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	openLeft := len(ps.pool)
 	var st Status
 	var bound float64

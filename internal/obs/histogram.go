@@ -17,17 +17,20 @@ var DefaultBuckets = []float64{
 // histogram is a fixed-bucket distribution: counts[i] holds observations
 // with v <= buckets[i] and v > buckets[i-1]; the final extra slot is the
 // +Inf overflow bucket.
+// histogram instances live in Metrics.hists and are only reached with
+// the registry lock held, so Metrics.mu guards the mutable fields.
 type histogram struct {
-	buckets []float64
-	counts  []int64
-	count   int64
-	sum     float64
+	buckets []float64 // immutable after newHistogram
+	counts  []int64   // guarded by obs.Metrics.mu
+	count   int64     // guarded by obs.Metrics.mu
+	sum     float64   // guarded by obs.Metrics.mu
 }
 
 func newHistogram(buckets []float64) *histogram {
 	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
 }
 
+// locked: obs.Metrics.mu
 func (h *histogram) observe(v float64) {
 	if math.IsNaN(v) {
 		return

@@ -250,8 +250,8 @@ func (o *Observer) Emit(e Event) {
 // reported by Err, after which further events are dropped.
 type JSONLWriter struct {
 	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	enc *json.Encoder // immutable after NewJSONLWriter
+	err error         // guarded by mu
 }
 
 // NewJSONLWriter returns a JSONL sink over w. The caller retains
@@ -344,7 +344,7 @@ func lineExcerpt(b []byte) string {
 // Recorder is an in-memory Sink for tests and programmatic analysis.
 type Recorder struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event // guarded by mu
 }
 
 // Emit appends the event.
@@ -500,10 +500,10 @@ func (m multiSink) Emit(e Event) {
 // a no-op.
 type Metrics struct {
 	mu       sync.Mutex
-	counters map[string]int64
-	timers   map[string]time.Duration
-	gauges   map[string]float64
-	hists    map[string]*histogram
+	counters map[string]int64         // guarded by mu
+	timers   map[string]time.Duration // guarded by mu
+	gauges   map[string]float64       // guarded by mu
+	hists    map[string]*histogram    // guarded by mu
 }
 
 // Count adds n to the named counter.

@@ -42,21 +42,23 @@ type Board struct {
 	start  time.Time
 
 	mu       sync.Mutex
-	best     *core.Result
-	bestSrc  string
-	haveBest bool
-	firstAt  time.Duration
-	bound    float64
-	boundSrc string
-	history  []Incumbent
-	rejected int
-	stats    map[string]*sourceStats
+	best     *core.Result            // guarded by mu
+	bestSrc  string                  // guarded by mu
+	haveBest bool                    // guarded by mu
+	firstAt  time.Duration           // guarded by mu
+	bound    float64                 // guarded by mu
+	boundSrc string                  // guarded by mu
+	history  []Incumbent             // guarded by mu
+	rejected int                     // guarded by mu
+	stats    map[string]*sourceStats // guarded by mu
 }
 
+// sourceStats entries live in Board.stats and are only handed out by
+// statsLocked, so the board lock guards every field.
 type sourceStats struct {
-	published int
-	rejected  int
-	best      float64
+	published int     // guarded by portfolio.Board.mu
+	rejected  int     // guarded by portfolio.Board.mu
+	best      float64 // guarded by portfolio.Board.mu
 }
 
 // NewBoard creates an incumbent board for racing backends on design d at
@@ -156,7 +158,8 @@ func (b *Board) reject(source string) {
 	b.mu.Unlock()
 }
 
-// statsLocked returns the per-source stats entry; callers hold b.mu.
+// statsLocked returns the per-source stats entry.
+// locked: b.mu
 func (b *Board) statsLocked(source string) *sourceStats {
 	st := b.stats[source]
 	if st == nil {

@@ -12,13 +12,13 @@ import (
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
-	order *list.List // front = most recently used; values are *cacheEntry
-	byKey map[string]*list.Element
+	order *list.List               // guarded by mu; front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element // guarded by mu
 }
 
 type cacheEntry struct {
 	key string
-	val *ResultPayload
+	val *ResultPayload // guarded by server.resultCache.mu
 }
 
 // newResultCache returns a cache holding up to capacity results;

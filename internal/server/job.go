@@ -38,16 +38,16 @@ type Job struct {
 	trace    *traceBuffer
 
 	mu       sync.Mutex
-	state    State
-	err      string
-	partial  bool
-	cached   bool
-	result   *ResultPayload
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
-	done     chan struct{}
+	state    State              // guarded by mu
+	err      string             // guarded by mu
+	partial  bool               // guarded by mu
+	cached   bool               // guarded by mu
+	result   *ResultPayload     // guarded by mu
+	created  time.Time          // immutable after newJob
+	started  time.Time          // guarded by mu
+	finished time.Time          // guarded by mu
+	cancel   context.CancelFunc // guarded by mu
+	done     chan struct{}      // immutable; closed exactly once under mu
 }
 
 // JobView is the externally visible snapshot of a job, the body of
@@ -202,9 +202,9 @@ func (j *Job) requestCancel() bool {
 type store struct {
 	mu     sync.Mutex
 	max    int
-	jobs   map[string]*Job
-	order  []string // insertion order, for eviction
-	serial uint64
+	jobs   map[string]*Job // guarded by mu
+	order  []string        // guarded by mu; insertion order, for eviction
+	serial uint64          // guarded by mu
 }
 
 func newStore(maxJobs int) *store {

@@ -8,7 +8,7 @@ import "sync"
 // the accept loop.
 type pool struct {
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 	queue  chan *Job
 	wg     sync.WaitGroup
 }

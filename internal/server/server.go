@@ -54,7 +54,7 @@ type Server struct {
 	baseCtx     context.Context
 	cancelBase  context.CancelFunc
 	mu          sync.Mutex
-	draining    bool
+	draining    bool // guarded by mu
 	started     time.Time
 	shutdownOne sync.Once
 }

@@ -65,12 +65,12 @@ type PlacementView struct {
 
 // StepView is one successive-augmentation step's statistics.
 type StepView struct {
-	Step     int     `json:"step"`
-	Added    int     `json:"added"`
-	Binaries int     `json:"binaries"`
-	Nodes    int     `json:"nodes"`
-	LPIters  int     `json:"lpIters"`
-	Status   string  `json:"status"`
+	Step     int    `json:"step"`
+	Added    int    `json:"added"`
+	Binaries int    `json:"binaries"`
+	Nodes    int    `json:"nodes"`
+	LPIters  int    `json:"lpIters"`
+	Status   string `json:"status"`
 	// Source names who owned the step's best solution: "bb", or a
 	// portfolio label when an externally-shared incumbent dominated it.
 	Source  string  `json:"source,omitempty"`
@@ -102,7 +102,8 @@ func (s *Server) runJob(j *Job) {
 		defer cancelT()
 	}
 
-	s.metrics.Observe("queue_wait_us", float64(j.started.Sub(j.created).Microseconds()))
+	startedAt, _ := j.runningSince()
+	s.metrics.Observe("queue_wait_us", float64(startedAt.Sub(j.created).Microseconds()))
 
 	start := time.Now()
 	// The job's fan-out: the per-job trace buffer (replayed over SSE), the

@@ -24,9 +24,9 @@ type traceBuffer struct {
 	mu      sync.Mutex
 	max     int
 	maxSubs int
-	events  []obs.Event
-	dropped int64
-	subs    map[*traceSub]struct{}
+	events  []obs.Event            // guarded by mu
+	dropped int64                  // guarded by mu
+	subs    map[*traceSub]struct{} // guarded by mu
 }
 
 // traceSub is one live follower of a job's trace. Events are delivered
@@ -34,7 +34,7 @@ type traceBuffer struct {
 // events (counted in lost) instead of stalling the solver.
 type traceSub struct {
 	ch   chan obs.Event
-	lost int64 // guarded by the owning buffer's mu
+	lost int64 // guarded by server.traceBuffer.mu; the owning buffer's lock
 }
 
 // kindTruncated marks the synthetic closing event of a truncated trace;
@@ -51,7 +51,11 @@ func newTraceBuffer(max int) *traceBuffer {
 	return &traceBuffer{max: max, maxSubs: defaultMaxSubs}
 }
 
-// Emit implements obs.Sink.
+// Emit implements obs.Sink. The solver's progress path reaches here
+// with its pool lock held (the trace buffer is one of the job's fanned-
+// out sinks), which the analyzer cannot see through the obs.Sink
+// interface; declare the edge so the golden graph records it.
+// lockorder: milp.psolver.mu -> server.traceBuffer.mu -- emitProgressLocked fans out to the job's trace buffer through obs.Multi
 func (b *traceBuffer) Emit(e obs.Event) {
 	b.mu.Lock()
 	if len(b.events) < b.max {
